@@ -1,0 +1,79 @@
+//! Criterion benchmarks at the attack level: channel establishment and
+//! transmission, one per *figure-generating* code path, so regressions in
+//! the expensive experiment drivers are caught early.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mee_attack::channel::{random_bits, ChannelConfig, Session};
+use mee_attack::recon::capacity::eviction_trial;
+use mee_attack::recon::eviction::find_eviction_set;
+use mee_attack::setup::AttackSetup;
+use mee_attack::threshold::LatencyClassifier;
+use std::hint::black_box;
+
+fn bench_algorithm1(c: &mut Criterion) {
+    c.bench_function("recon/algorithm1_find_eviction_set", |b| {
+        b.iter_batched(
+            || AttackSetup::quiet(11).unwrap(),
+            |mut setup| {
+                let cls = LatencyClassifier::from_timing(&setup.machine.config().timing);
+                let candidates = setup.trojan.candidates(96, 0);
+                let mut cpu = setup.trojan_handle();
+                black_box(find_eviction_set(&mut cpu, &candidates, &cls, 1).unwrap())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+fn bench_capacity_trial(c: &mut Criterion) {
+    c.bench_function("recon/capacity_trial_k64", |b| {
+        b.iter_batched(
+            || AttackSetup::quiet(12).unwrap(),
+            |mut setup| {
+                let cls = LatencyClassifier::from_timing(&setup.machine.config().timing);
+                black_box(eviction_trial(&mut setup, 64, 0, &cls).unwrap())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+fn bench_establish(c: &mut Criterion) {
+    c.bench_function("channel/establish", |b| {
+        b.iter_batched(
+            || AttackSetup::quiet(13).unwrap(),
+            |mut setup| {
+                black_box(Session::establish(&mut setup, &ChannelConfig::default()).unwrap())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+fn bench_transmit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel");
+    let bits = 128usize;
+    group.throughput(Throughput::Elements(bits as u64));
+    group.bench_function("transmit_128_bits", |b| {
+        b.iter_batched(
+            || {
+                let mut setup = AttackSetup::quiet(14).unwrap();
+                let session = Session::establish(&mut setup, &ChannelConfig::default()).unwrap();
+                (setup, session)
+            },
+            |(mut setup, session)| {
+                let payload = random_bits(bits, 14);
+                black_box(session.transmit(&mut setup, &payload).unwrap())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_algorithm1, bench_capacity_trial, bench_establish, bench_transmit
+}
+criterion_main!(benches);

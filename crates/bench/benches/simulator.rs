@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks for the simulator substrate: how fast the
+//! model itself runs (simulated cycles are free; host time is not).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mee_cache::policy::{TreePlru, TrueLru};
+use mee_cache::{CacheConfig, SetAssocCache};
+use mee_engine::Mee;
+use mee_machine::{CoreId, Machine, MachineConfig};
+use mee_mem::{AddressSpaceKind, DramConfig, DramModel, PhysLayout};
+use mee_tree::TreeGeometry;
+use mee_types::{LineAddr, TimingConfig, VirtAddr, PAGE_SIZE};
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(1));
+
+    let cfg = CacheConfig::from_capacity(64 * 1024, 8, 64).unwrap();
+    for (name, policy) in [
+        ("access_plru", Box::new(TreePlru::new()) as Box<dyn mee_cache::ReplacementPolicy>),
+        ("access_lru", Box::new(TrueLru::new())),
+    ] {
+        let mut cache = SetAssocCache::new(cfg, policy);
+        let mut i = 0u64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                i = i.wrapping_add(97);
+                black_box(cache.access(LineAddr::new(i % 4096)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut dram = DramModel::new(DramConfig::default()).unwrap();
+    let mut i = 0u64;
+    c.bench_function("dram/access", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(513);
+            black_box(dram.access(LineAddr::new(i % (1 << 20))))
+        })
+    });
+}
+
+fn bench_mee_walk(c: &mut Criterion) {
+    let layout = PhysLayout::new(1 << 20, 16 << 20).unwrap();
+    let geo = TreeGeometry::new(layout.prm_data(), layout.prm_tree()).unwrap();
+    let mut dram = DramModel::new(DramConfig::default()).unwrap();
+    let mut mee = Mee::new(
+        geo,
+        1,
+        CacheConfig::from_capacity(64 * 1024, 8, 64).unwrap(),
+        Box::new(TreePlru::new()),
+        TimingConfig::default(),
+    );
+    let base = layout.prm_data().base().line().raw();
+    let lines = layout.prm_data().size() / 64;
+    let mut i = 0u64;
+    let mut clock = 0u64;
+    c.bench_function("mee/protected_read_walk", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(61);
+            clock += 1_000_000;
+            black_box(
+                mee.read(
+                    LineAddr::new(base + (i * 64) % lines),
+                    mee_types::Cycles::new(clock),
+                    &mut dram,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_machine_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+    group.bench_function("enclave_read_flush_cycle", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Machine::new(MachineConfig::small()).unwrap();
+                let p = m.create_process(AddressSpaceKind::Enclave);
+                let base = VirtAddr::new(0x10_0000);
+                m.map_pages(p, base, 32).unwrap();
+                (m, p, base)
+            },
+            |(mut m, p, base)| {
+                let core = CoreId::new(0);
+                for i in 0..32u64 {
+                    let va = base + i * PAGE_SIZE as u64;
+                    m.read(core, p, va).unwrap();
+                    m.clflush(core, p, va).unwrap();
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("machine_construction_small", |b| {
+        b.iter(|| black_box(Machine::new(MachineConfig::small()).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_dram, bench_mee_walk, bench_machine_ops);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Runs the eviction-strategy × replacement-policy ablation (§5.3's design
+//! rationale).
+
+use mee_attack::experiments::run_ablation;
+use mee_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    match run_ablation(args.seed, 512 * args.scale) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("ablation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Runs every figure harness in sequence (EXPERIMENTS.md is generated from
+//! this output).
+
+use mee_attack::experiments::{
+    fig7::PAPER_WINDOWS, run_ablation, run_fig4, run_fig5, run_fig6, run_fig7, run_fig8,
+    run_headline, run_mitigation, run_stealth, run_timers, run_wide,
+};
+use mee_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let s = args.scale;
+    let seed = args.seed;
+    let run = || -> Result<(), mee_types::ModelError> {
+        println!("=== seed {seed}, scale {s} ===\n");
+        print!("{}\n\n", run_fig4(seed, 100 * s)?);
+        print!("{}\n\n", run_fig5(seed, 64 * s, 2)?);
+        print!("{}\n\n", run_fig6(seed, 16 * s)?);
+        print!("{}\n\n", run_fig7(seed, 1024 * s, &PAPER_WINDOWS)?);
+        print!("{}\n\n", run_fig8(seed, 128 * s)?);
+        print!("{}\n\n", run_headline(seed, 4096 * s)?);
+        print!("{}\n\n", run_timers(seed, 32 * s)?);
+        print!("{}\n\n", run_ablation(seed, 512 * s)?);
+        print!("{}\n\n", run_mitigation(seed, 512 * s, &[8, 6, 4, 2])?);
+        print!("{}\n\n", run_stealth(seed, 512 * s)?);
+        print!("{}\n\n", run_wide(seed, 512 * s, &[1, 2, 4, 8])?);
+        Ok(())
+    };
+    if let Err(e) = run() {
+        eprintln!("experiment run failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 4: eviction probability vs candidate-set size.
+
+use mee_attack::experiments::run_fig4;
+use mee_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let trials = 100 * args.scale; // the paper's 100 trials per point
+    match run_fig4(args.seed, trials) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("fig4 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 5: access-latency histogram by MEE hit level.
+
+use mee_attack::experiments::run_fig5;
+use mee_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    match run_fig5(args.seed, 64 * args.scale, 2) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("fig5 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

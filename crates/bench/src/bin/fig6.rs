@@ -1,0 +1,16 @@
+//! Regenerates Figure 6: Prime+Probe (a) vs this work (b), sending 0101…
+
+use mee_attack::experiments::run_fig6;
+use mee_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    // Panel (a) shows 16 bits, (b) shows ~30 probes in the paper.
+    match run_fig6(args.seed, 16 * args.scale) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("fig6 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 7: bit rate / error rate vs timing window size.
+
+use mee_attack::experiments::fig7::PAPER_WINDOWS;
+use mee_attack::experiments::run_fig7;
+use mee_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    match run_fig7(args.seed, 1024 * args.scale, &PAPER_WINDOWS) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("fig7 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

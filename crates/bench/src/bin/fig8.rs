@@ -1,0 +1,16 @@
+//! Regenerates Figure 8: the 128-bit '100100…' sequence under four noise
+//! environments.
+
+use mee_attack::experiments::run_fig8;
+use mee_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    match run_fig8(args.seed, 128 * args.scale) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("fig8 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates the headline numbers: ~35 KBps at ~1.7% error (no error
+//! handling), plus the Hamming-coded extension.
+
+use mee_attack::experiments::run_headline;
+use mee_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    match run_headline(args.seed, 4096 * args.scale) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("headline failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Runs the §5.5 way-partitioning mitigation sketch.
+
+use mee_attack::experiments::run_mitigation;
+use mee_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    match run_mitigation(args.seed, 512 * args.scale, &[8, 6, 4, 2]) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("mitigation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

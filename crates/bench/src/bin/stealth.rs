@@ -1,0 +1,16 @@
+//! Runs the stealth comparison: MEE channel vs classic LLC Prime+Probe,
+//! by LLC footprint.
+
+use mee_attack::experiments::run_stealth;
+use mee_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    match run_stealth(args.seed, 512 * args.scale) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("stealth failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

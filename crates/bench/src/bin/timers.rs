@@ -1,0 +1,15 @@
+//! Regenerates the §3 timing-primitive comparison (Figure 2's approaches).
+
+use mee_attack::experiments::run_timers;
+use mee_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    match run_timers(args.seed, 32 * args.scale) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("timers failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

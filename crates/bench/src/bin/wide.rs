@@ -1,0 +1,15 @@
+//! Runs the wide-channel throughput sweep (extension).
+
+use mee_attack::experiments::run_wide;
+use mee_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    match run_wide(args.seed, 512 * args.scale, &[1, 2, 4, 8]) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("wide failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+#![warn(missing_docs)]
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every binary accepts `[seed] [scale]` positional arguments:
+//!
+//! * `seed` (default 2019) — all machine RNGs derive from it;
+//! * `scale` (default 1) — multiplies trial counts / payload sizes, so
+//!   `cargo run -p mee-bench --bin fig7 -- 7 4` runs a 4× heavier sweep.
+
+/// Parsed command-line arguments for a figure binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessArgs {
+    /// RNG seed for the whole experiment.
+    pub seed: u64,
+    /// Work multiplier (≥ 1).
+    pub scale: usize,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            seed: 2019, // the paper's year
+            scale: 1,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `[seed] [scale]` from an iterator of arguments (typically
+    /// `std::env::args().skip(1)`); malformed values fall back to defaults.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = HarnessArgs::default();
+        let mut it = args.into_iter();
+        if let Some(s) = it.next() {
+            if let Ok(seed) = s.parse() {
+                out.seed = seed;
+            }
+        }
+        if let Some(s) = it.next() {
+            if let Ok(scale) = s.parse::<usize>() {
+                out.scale = scale.max(1);
+            }
+        }
+        out
+    }
+
+    /// Parses from the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let a = HarnessArgs::parse(Vec::<String>::new());
+        assert_eq!(a, HarnessArgs { seed: 2019, scale: 1 });
+    }
+
+    #[test]
+    fn parses_seed_and_scale() {
+        let a = HarnessArgs::parse(vec!["7".into(), "3".into()]);
+        assert_eq!(a, HarnessArgs { seed: 7, scale: 3 });
+    }
+
+    #[test]
+    fn malformed_values_fall_back() {
+        let a = HarnessArgs::parse(vec!["x".into(), "0".into()]);
+        assert_eq!(a.seed, 2019);
+        assert_eq!(a.scale, 1);
+    }
+}

@@ -1,0 +1,480 @@
+//! The set-associative cache model.
+
+use mee_types::{LineAddr, ModelError};
+
+use crate::policy::ReplacementPolicy;
+use crate::stats::CacheStats;
+
+/// Geometry of a set-associative cache.
+///
+/// ```
+/// use mee_cache::CacheConfig;
+///
+/// # fn main() -> Result<(), mee_types::ModelError> {
+/// let mee = CacheConfig::from_capacity(64 * 1024, 8, 64)?;
+/// assert_eq!((mee.sets, mee.ways), (128, 8));
+/// assert_eq!(mee.capacity_bytes(), 64 * 1024);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Number of ways per set.
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_size: usize,
+}
+
+impl CacheConfig {
+    /// Builds a config from total capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] if the capacity is not evenly
+    /// divisible into power-of-two sets of `ways` lines, or any parameter
+    /// is zero.
+    pub fn from_capacity(
+        capacity_bytes: usize,
+        ways: usize,
+        line_size: usize,
+    ) -> Result<Self, ModelError> {
+        let fail = |reason: String| Err(ModelError::InvalidConfig { reason });
+        if ways == 0 || line_size == 0 || capacity_bytes == 0 {
+            return fail("cache parameters must be non-zero".into());
+        }
+        if !line_size.is_power_of_two() {
+            return fail(format!("line size {line_size} is not a power of two"));
+        }
+        let lines = capacity_bytes / line_size;
+        if lines * line_size != capacity_bytes {
+            return fail(format!(
+                "capacity {capacity_bytes} is not a multiple of line size {line_size}"
+            ));
+        }
+        let sets = lines / ways;
+        if sets * ways != lines {
+            return fail(format!("{lines} lines do not divide into {ways} ways"));
+        }
+        if !sets.is_power_of_two() {
+            return fail(format!("set count {sets} is not a power of two"));
+        }
+        Ok(CacheConfig {
+            sets,
+            ways,
+            line_size,
+        })
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.ways * self.line_size
+    }
+}
+
+/// Outcome of one [`SetAssocCache::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the line was already resident.
+    pub hit: bool,
+    /// The line evicted to make room, when the fill displaced one.
+    pub evicted: Option<LineAddr>,
+    /// The set the line maps to.
+    pub set: usize,
+}
+
+/// A physically indexed, physically tagged set-associative cache.
+///
+/// Stores tags only — the simulator models *where data is*, not the data
+/// itself (the functional memory contents live in `mee-mem`/`mee-tree`).
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    /// `ways[set * cfg.ways + way]`: resident line, if any.
+    lines: Vec<Option<LineAddr>>,
+    policy: Box<dyn ReplacementPolicy>,
+    stats: CacheStats,
+    /// Scratch "allowed ways" mask reused across calls.
+    allowed: Vec<bool>,
+}
+
+impl std::fmt::Debug for SetAssocCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SetAssocCache")
+            .field("cfg", &self.cfg)
+            .field("policy", &self.policy.name())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry and policy.
+    pub fn new(cfg: CacheConfig, mut policy: Box<dyn ReplacementPolicy>) -> Self {
+        policy.attach(cfg.sets, cfg.ways);
+        SetAssocCache {
+            lines: vec![None; cfg.sets * cfg.ways],
+            allowed: vec![true; cfg.ways],
+            cfg,
+            policy,
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Returns the cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Returns the set index `line` maps to.
+    pub fn set_of(&self, line: LineAddr) -> usize {
+        line.set_index(self.cfg.sets)
+    }
+
+    /// Accesses `line`: on a miss the line is filled, possibly evicting a
+    /// victim chosen by the replacement policy.
+    pub fn access(&mut self, line: LineAddr) -> AccessResult {
+        let ways = self.cfg.ways;
+        let mask = vec![true; ways];
+        self.access_in_ways(line, &mask)
+    }
+
+    /// Accesses `line`, but restricts fills (and victim selection) to the
+    /// ways marked `true` in `way_mask` — the primitive behind way
+    /// partitioning (§5.5 mitigation experiments).
+    ///
+    /// A *hit* in a disallowed way still counts as a hit: partitioning
+    /// controls insertion, not lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way_mask.len() != ways` or no way is allowed.
+    pub fn access_in_ways(&mut self, line: LineAddr, way_mask: &[bool]) -> AccessResult {
+        assert_eq!(way_mask.len(), self.cfg.ways, "way mask length mismatch");
+        assert!(way_mask.iter().any(|&b| b), "way mask allows no ways");
+        let set = self.set_of(line);
+        let base = set * self.cfg.ways;
+
+        // Hit path.
+        if let Some(way) = self.find_way(set, line) {
+            self.policy.on_hit(set, way);
+            self.stats.hits += 1;
+            return AccessResult {
+                hit: true,
+                evicted: None,
+                set,
+            };
+        }
+
+        // Miss path: prefer an empty allowed way.
+        self.stats.misses += 1;
+        let empty = (0..self.cfg.ways).find(|&w| way_mask[w] && self.lines[base + w].is_none());
+        let (way, evicted) = match empty {
+            Some(w) => (w, None),
+            None => {
+                self.allowed.copy_from_slice(way_mask);
+                // Only occupied ways can be victims; merge with the mask.
+                for w in 0..self.cfg.ways {
+                    self.allowed[w] &= self.lines[base + w].is_some();
+                }
+                if !self.allowed.iter().any(|&b| b) {
+                    // All allowed ways are empty? Impossible here (handled
+                    // above), but all *occupied* ways may be disallowed:
+                    // evict within the mask regardless.
+                    self.allowed.copy_from_slice(way_mask);
+                }
+                let allowed = std::mem::take(&mut self.allowed);
+                let w = self.policy.victim(set, &allowed);
+                self.allowed = allowed;
+                let old = self.lines[base + w].take();
+                if old.is_some() {
+                    self.stats.evictions += 1;
+                }
+                (w, old)
+            }
+        };
+        self.lines[base + way] = Some(line);
+        self.policy.on_fill(set, way);
+        AccessResult {
+            hit: false,
+            evicted,
+            set,
+        }
+    }
+
+    /// Non-destructive residence check (no policy or stats update).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.find_way(self.set_of(line), line).is_some()
+    }
+
+    /// Invalidates `line` if resident; returns whether it was.
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        let set = self.set_of(line);
+        if let Some(way) = self.find_way(set, line) {
+            self.lines[set * self.cfg.ways + way] = None;
+            self.policy.on_invalidate(set, way);
+            self.stats.invalidations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Empties the whole cache, keeping statistics.
+    pub fn invalidate_all(&mut self) {
+        for entry in &mut self.lines {
+            *entry = None;
+        }
+        // Re-attach to reset policy metadata.
+        self.policy.attach(self.cfg.sets, self.cfg.ways);
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Number of resident lines in one set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set >= sets`.
+    pub fn set_occupancy(&self, set: usize) -> usize {
+        assert!(set < self.cfg.sets, "set {set} out of range");
+        let base = set * self.cfg.ways;
+        self.lines[base..base + self.cfg.ways]
+            .iter()
+            .filter(|l| l.is_some())
+            .count()
+    }
+
+    /// Iterates over all resident lines.
+    pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.lines.iter().filter_map(|l| *l)
+    }
+
+    /// Returns accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zeroes the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::new();
+    }
+
+    fn find_way(&self, set: usize, line: LineAddr) -> Option<usize> {
+        let base = set * self.cfg.ways;
+        (0..self.cfg.ways).find(|&w| self.lines[base + w] == Some(line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{TreePlru, TrueLru};
+    use proptest::prelude::*;
+
+    fn small_lru() -> SetAssocCache {
+        let cfg = CacheConfig::from_capacity(4 * 64, 2, 64).unwrap(); // 2 sets x 2 ways
+        SetAssocCache::new(cfg, Box::new(TrueLru::new()))
+    }
+
+    #[test]
+    fn config_from_capacity() {
+        let cfg = CacheConfig::from_capacity(64 * 1024, 8, 64).unwrap();
+        assert_eq!(cfg.sets, 128);
+        assert_eq!(cfg.capacity_bytes(), 64 * 1024);
+    }
+
+    #[test]
+    fn config_rejects_bad_shapes() {
+        assert!(CacheConfig::from_capacity(0, 8, 64).is_err());
+        assert!(CacheConfig::from_capacity(64 * 1024, 0, 64).is_err());
+        assert!(CacheConfig::from_capacity(64 * 1024, 8, 0).is_err());
+        assert!(CacheConfig::from_capacity(64 * 1024, 8, 96).is_err());
+        assert!(CacheConfig::from_capacity(100, 1, 64).is_err());
+        // 3 sets: not a power of two.
+        assert!(CacheConfig::from_capacity(3 * 2 * 64, 2, 64).is_err());
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small_lru();
+        let line = LineAddr::new(0);
+        let first = c.access(line);
+        assert!(!first.hit);
+        assert_eq!(first.evicted, None);
+        assert!(c.access(line).hit);
+        assert!(c.contains(line));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn conflict_eviction_in_lru_order() {
+        let mut c = small_lru(); // 2 sets
+        // Lines 0, 2, 4 all map to set 0.
+        let l0 = LineAddr::new(0);
+        let l2 = LineAddr::new(2);
+        let l4 = LineAddr::new(4);
+        c.access(l0);
+        c.access(l2);
+        let r = c.access(l4);
+        assert_eq!(r.evicted, Some(l0));
+        assert!(!c.contains(l0));
+        assert!(c.contains(l2));
+        assert!(c.contains(l4));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = small_lru();
+        c.access(LineAddr::new(0)); // set 0
+        c.access(LineAddr::new(1)); // set 1
+        c.access(LineAddr::new(2)); // set 0
+        c.access(LineAddr::new(3)); // set 1
+        assert_eq!(c.occupancy(), 4);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.set_occupancy(0), 2);
+        assert_eq!(c.set_occupancy(1), 2);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small_lru();
+        let line = LineAddr::new(6);
+        c.access(line);
+        assert!(c.invalidate(line));
+        assert!(!c.contains(line));
+        assert!(!c.invalidate(line));
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn invalidate_all_empties() {
+        let mut c = small_lru();
+        for i in 0..4 {
+            c.access(LineAddr::new(i));
+        }
+        c.invalidate_all();
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.resident_lines().count(), 0);
+    }
+
+    #[test]
+    fn contains_does_not_perturb_state() {
+        let mut c = small_lru();
+        let l0 = LineAddr::new(0);
+        let l2 = LineAddr::new(2);
+        c.access(l0);
+        c.access(l2);
+        let before = c.stats();
+        // Probing l0 must NOT refresh it in LRU order.
+        assert!(c.contains(l0));
+        assert_eq!(c.stats(), before);
+        let r = c.access(LineAddr::new(4));
+        assert_eq!(r.evicted, Some(l0), "contains() perturbed LRU state");
+    }
+
+    #[test]
+    fn way_mask_restricts_fills() {
+        let cfg = CacheConfig::from_capacity(8 * 64, 8, 64).unwrap(); // 1 set x 8 ways
+        let mut c = SetAssocCache::new(cfg, Box::new(TrueLru::new()));
+        let mask: Vec<bool> = (0..8).map(|w| w < 2).collect(); // only ways 0-1
+        for i in 0..4 {
+            c.access_in_ways(LineAddr::new(i), &mask);
+        }
+        // Only 2 ways allowed: at most 2 resident at once.
+        assert_eq!(c.occupancy(), 2);
+        assert!(c.contains(LineAddr::new(2)));
+        assert!(c.contains(LineAddr::new(3)));
+    }
+
+    #[test]
+    fn hit_in_disallowed_way_still_hits() {
+        let cfg = CacheConfig::from_capacity(8 * 64, 8, 64).unwrap();
+        let mut c = SetAssocCache::new(cfg, Box::new(TrueLru::new()));
+        let line = LineAddr::new(0);
+        c.access(line); // fills way 0 (unrestricted)
+        let mask: Vec<bool> = (0..8).map(|w| w >= 4).collect();
+        assert!(c.access_in_ways(line, &mask).hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "allows no ways")]
+    fn empty_mask_panics() {
+        let mut c = small_lru();
+        c.access_in_ways(LineAddr::new(0), &[false, false]);
+    }
+
+    #[test]
+    fn mee_cache_shape_fills_and_self_evicts() {
+        // The actual reverse-engineered shape: 128 sets x 8 ways.
+        let cfg = CacheConfig::from_capacity(64 * 1024, 8, 64).unwrap();
+        let mut c = SetAssocCache::new(cfg, Box::new(TreePlru::new()));
+        // Fill with 1024 distinct lines: exactly capacity, no evictions.
+        for i in 0..1024 {
+            c.access(LineAddr::new(i));
+        }
+        assert_eq!(c.occupancy(), 1024);
+        assert_eq!(c.stats().evictions, 0);
+        // One more line forces exactly one eviction in its set.
+        let r = c.access(LineAddr::new(1024));
+        assert!(r.evicted.is_some());
+        assert_eq!(c.occupancy(), 1024);
+    }
+
+    proptest! {
+        /// Occupancy never exceeds capacity and a just-accessed line is
+        /// always resident afterwards.
+        #[test]
+        fn occupancy_bounded_and_mru_resident(
+            accesses in proptest::collection::vec(0u64..512, 1..400),
+            ways in prop::sample::select(vec![1usize, 2, 4, 8]),
+        ) {
+            let cfg = CacheConfig::from_capacity(16 * ways * 64, ways, 64).unwrap();
+            let mut c = SetAssocCache::new(cfg, Box::new(TreePlru::new()));
+            for &a in &accesses {
+                let line = LineAddr::new(a);
+                c.access(line);
+                prop_assert!(c.contains(line));
+                prop_assert!(c.occupancy() <= cfg.sets * cfg.ways);
+                for s in 0..cfg.sets {
+                    prop_assert!(c.set_occupancy(s) <= cfg.ways);
+                }
+            }
+        }
+
+        /// Stats identity: accesses = hits + misses; evictions <= misses.
+        #[test]
+        fn stats_identities(accesses in proptest::collection::vec(0u64..256, 1..300)) {
+            let cfg = CacheConfig::from_capacity(4 * 1024, 4, 64).unwrap();
+            let mut c = SetAssocCache::new(cfg, Box::new(TrueLru::new()));
+            for &a in &accesses {
+                c.access(LineAddr::new(a));
+            }
+            let s = c.stats();
+            prop_assert_eq!(s.accesses(), accesses.len() as u64);
+            prop_assert!(s.evictions <= s.misses);
+        }
+
+        /// A line in a different set is never evicted by a fill.
+        #[test]
+        fn fills_only_evict_within_their_set(seed in 0u64..1000) {
+            let cfg = CacheConfig::from_capacity(2 * 2 * 64, 2, 64).unwrap(); // 2 sets
+            let mut c = SetAssocCache::new(cfg, Box::new(TrueLru::new()));
+            let other_set = LineAddr::new(1); // set 1
+            c.access(other_set);
+            // Hammer set 0.
+            for i in 0..8 {
+                let r = c.access(LineAddr::new((seed % 7 + 1) * 2 + i * 2));
+                if let Some(e) = r.evicted {
+                    prop_assert_eq!(e.set_index(2), 0);
+                }
+            }
+            prop_assert!(c.contains(other_set));
+        }
+    }
+}

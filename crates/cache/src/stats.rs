@@ -1,0 +1,85 @@
+//! Hit/miss/eviction counters.
+
+use core::fmt;
+
+/// Access counters maintained by every [`SetAssocCache`](crate::SetAssocCache).
+///
+/// Counters are cumulative; call
+/// [`SetAssocCache::reset_stats`](crate::SetAssocCache::reset_stats) to zero
+/// them between experiment phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Number of accesses that found their line resident.
+    pub hits: u64,
+    /// Number of accesses that missed and triggered a fill.
+    pub misses: u64,
+    /// Number of fills that had to evict a valid line.
+    pub evictions: u64,
+    /// Number of explicit invalidations that removed a valid line.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// A zeroed counter block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of accesses (hits + misses).
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; `0.0` when no accesses have occurred.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses ({} hits, {} misses, {:.1}% hit rate), {} evictions, {} invalidations",
+            self.accesses(),
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.evictions,
+            self.invalidations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero_accesses() {
+        assert_eq!(CacheStats::new().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_and_totals() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 1,
+            invalidations: 0,
+        };
+        assert_eq!(s.accesses(), 4);
+        assert!((s.hit_rate() - 0.75).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = CacheStats::new();
+        assert!(!s.to_string().is_empty());
+    }
+}

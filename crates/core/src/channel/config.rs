@@ -1,0 +1,137 @@
+//! Channel parameters.
+
+use mee_types::{Cycles, ModelError};
+
+/// How the trojan sweeps its eviction set when sending a `1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionStrategy {
+    /// One forward pass only. Cheaper, but unreliable under the MEE cache's
+    /// approximate-LRU replacement (the ablation experiment quantifies it).
+    ForwardOnly,
+    /// Forward pass then backward pass — the paper's §5.3 design. Costs
+    /// roughly 9000 cycles per `1` but keeps the error rate low.
+    TwoPhase,
+}
+
+/// Parameters shared by the trojan and the spy.
+///
+/// ```
+/// use mee_attack::channel::ChannelConfig;
+/// use mee_types::Cycles;
+///
+/// let cfg = ChannelConfig {
+///     window: Cycles::new(15_000), // the paper's sweet spot (§5.4)
+///     ..ChannelConfig::default()
+/// };
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelConfig {
+    /// The timing window `T_sync`: one bit per window.
+    pub window: Cycles,
+    /// The agreed index in the consecutive versions data region — i.e. which
+    /// of the 8 512-byte units of a 4 KiB page both parties use (§5.3: "any
+    /// arbitrary index can be used").
+    pub agreed_offset: usize,
+    /// The trojan's eviction sweep strategy.
+    pub strategy: EvictionStrategy,
+    /// Whether the trojan rotates the sweep's starting element between
+    /// `1`s. Prevents absorbing replacement-state cycles under the
+    /// deterministic PLRU model (see [`TrojanActor`](crate::channel::TrojanActor)).
+    pub rotate_sweep: bool,
+    /// Candidates the trojan feeds Algorithm 1 (≥ 64 required; more gives
+    /// headroom on noisy machines).
+    pub trojan_candidates: usize,
+    /// Candidate addresses the spy tries when searching for its monitor
+    /// address (each conflicts with probability 1/8).
+    pub spy_candidates: usize,
+    /// Repetitions for majority-voted eviction tests during setup.
+    pub setup_reps: usize,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig {
+            window: Cycles::new(15_000),
+            agreed_offset: 3,
+            strategy: EvictionStrategy::TwoPhase,
+            rotate_sweep: true,
+            trojan_candidates: 160,
+            spy_candidates: 96,
+            setup_reps: 3,
+        }
+    }
+}
+
+impl ChannelConfig {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] for a zero window, an offset
+    /// outside `0..8`, or degenerate candidate counts.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let fail = |reason: String| Err(ModelError::InvalidConfig { reason });
+        if self.window == Cycles::ZERO {
+            return fail("window must be non-zero".into());
+        }
+        if self.agreed_offset >= 8 {
+            return fail(format!(
+                "agreed offset {} must select one of 8 version blocks",
+                self.agreed_offset
+            ));
+        }
+        if self.trojan_candidates < 64 {
+            return fail("Algorithm 1 needs at least 64 trojan candidates".into());
+        }
+        if self.spy_candidates == 0 {
+            return fail("spy needs at least one candidate".into());
+        }
+        if self.setup_reps == 0 {
+            return fail("setup repetitions must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_papers_operating_point() {
+        let cfg = ChannelConfig::default();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.window, Cycles::new(15_000));
+        assert_eq!(cfg.strategy, EvictionStrategy::TwoPhase);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        let bad = [
+            ChannelConfig {
+                window: Cycles::ZERO,
+                ..ChannelConfig::default()
+            },
+            ChannelConfig {
+                agreed_offset: 8,
+                ..ChannelConfig::default()
+            },
+            ChannelConfig {
+                trojan_candidates: 32,
+                ..ChannelConfig::default()
+            },
+            ChannelConfig {
+                spy_candidates: 0,
+                ..ChannelConfig::default()
+            },
+            ChannelConfig {
+                setup_reps: 0,
+                ..ChannelConfig::default()
+            },
+        ];
+        for cfg in bad {
+            assert!(cfg.validate().is_err(), "accepted {cfg:?}");
+        }
+    }
+}

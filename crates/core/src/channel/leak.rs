@@ -1,0 +1,163 @@
+//! Byte-level exfiltration on top of the raw bit channel: framing, forward
+//! error correction, and tolerance to an unknown start offset.
+//!
+//! The paper's evaluation sends raw bit patterns with both parties sharing
+//! the window phase out of band. A deployed trojan cannot count on that:
+//! the spy may start listening windows early or late. This layer makes the
+//! channel usable as a transport:
+//!
+//! * payload bytes are framed with a sync [`PREAMBLE`](super::coding::PREAMBLE)
+//!   and Hamming(7,4) (one corrected error per 7-bit block);
+//! * the receiver scans its decoded bit stream for the preamble, so any
+//!   whole-window misalignment up to `max_skew_windows` is absorbed;
+//! * the result is returned as bytes with the residual error count.
+
+use mee_types::ModelError;
+
+use crate::channel::coding::{deframe, frame};
+use crate::channel::session::Session;
+use crate::setup::AttackSetup;
+
+/// Outcome of a byte-level leak.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeakOutcome {
+    /// The recovered payload (same length as sent).
+    pub bytes: Vec<u8>,
+    /// Byte positions that differ from the payload actually sent is not
+    /// knowable at the receiver; this is the count of *uncorrectable* coded
+    /// blocks observed (0 means the FEC absorbed everything).
+    pub damaged_blocks: usize,
+}
+
+/// Converts bytes to most-significant-bit-first bits.
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
+    bytes
+        .iter()
+        .flat_map(|&b| (0..8).rev().map(move |i| (b >> i) & 1 == 1))
+        .collect()
+}
+
+/// Converts MSB-first bits back to bytes (the tail is zero-padded).
+pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
+    bits.chunks(8)
+        .map(|c| {
+            let mut byte = 0u8;
+            for (i, &b) in c.iter().enumerate() {
+                if b {
+                    byte |= (b as u8) << (7 - i);
+                }
+            }
+            byte
+        })
+        .collect()
+}
+
+impl Session {
+    /// Leaks `payload` across cores: frames it (preamble + Hamming(7,4)),
+    /// optionally delays the trojan's start by `skew_windows` whole windows
+    /// the spy does not know about, and recovers the bytes at the receiver
+    /// by preamble search.
+    ///
+    /// # Errors
+    ///
+    /// * Propagates machine errors.
+    /// * Returns [`ModelError::InvalidConfig`] if the preamble cannot be
+    ///   located in the received stream (channel too damaged).
+    pub fn leak_bytes(
+        &self,
+        setup: &mut AttackSetup,
+        payload: &[u8],
+        skew_windows: usize,
+    ) -> Result<LeakOutcome, ModelError> {
+        let data_bits = bytes_to_bits(payload);
+        let mut framed = frame(&data_bits);
+        // Unknown start: the trojan idles for `skew_windows` windows first
+        // (all-zero prefix from the spy's point of view).
+        let mut wire = vec![false; skew_windows];
+        wire.append(&mut framed);
+
+        let out = self.transmit(setup, &wire)?;
+        let search = skew_windows + 8;
+        let decoded =
+            deframe(&out.received, data_bits.len(), search).ok_or(ModelError::InvalidConfig {
+                reason: "sync preamble not found in received stream".to_string(),
+            })?;
+        let bytes = bits_to_bytes(&decoded);
+
+        // Damage accounting: blocks whose syndrome pointed at >1 error are
+        // not directly observable; approximate by comparing round-tripped
+        // coding of the decoded data with what was received after the
+        // preamble.
+        let refr = frame(&decoded);
+        let start = out
+            .received
+            .windows(8)
+            .position(|w| w == super::coding::PREAMBLE)
+            .unwrap_or(0);
+        let coded_rx = &out.received[start..];
+        let damaged_blocks = refr
+            .chunks(7)
+            .zip(coded_rx.chunks(7))
+            .filter(|(a, b)| {
+                let mismatches = a.iter().zip(b.iter()).filter(|(x, y)| x != y).count();
+                mismatches > 1
+            })
+            .count();
+        Ok(LeakOutcome {
+            bytes,
+            damaged_blocks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelConfig;
+
+    #[test]
+    fn bit_byte_roundtrip() {
+        let bytes = vec![0x00, 0xff, 0xa5, 0x3c];
+        assert_eq!(bits_to_bytes(&bytes_to_bits(&bytes)), bytes);
+        assert!(bytes_to_bits(&[0x80])[0]);
+        assert!(bytes_to_bits(&[0x01])[7]);
+    }
+
+    #[test]
+    fn leak_recovers_bytes_quiet() {
+        let mut setup = AttackSetup::quiet(301).unwrap();
+        let session = Session::establish(&mut setup, &ChannelConfig::default()).unwrap();
+        let payload = b"attack at dawn".to_vec();
+        let out = session.leak_bytes(&mut setup, &payload, 0).unwrap();
+        assert_eq!(out.bytes, payload);
+        assert_eq!(out.damaged_blocks, 0);
+    }
+
+    #[test]
+    fn leak_survives_unknown_start_offset() {
+        let mut setup = AttackSetup::quiet(302).unwrap();
+        let session = Session::establish(&mut setup, &ChannelConfig::default()).unwrap();
+        let payload = vec![0xde, 0xad, 0xbe, 0xef];
+        for skew in [1usize, 3, 7] {
+            let out = session.leak_bytes(&mut setup, &payload, skew).unwrap();
+            assert_eq!(out.bytes, payload, "failed at skew {skew}");
+        }
+    }
+
+    #[test]
+    fn leak_survives_noise() {
+        let mut setup = AttackSetup::new(303).unwrap();
+        let session = Session::establish(&mut setup, &ChannelConfig::default()).unwrap();
+        let payload: Vec<u8> = (0u8..32).collect();
+        let out = session.leak_bytes(&mut setup, &payload, 2).unwrap();
+        // FEC absorbs the channel's ~1-2% isolated errors; allow a couple
+        // of byte casualties from multi-error blocks.
+        let wrong = out
+            .bytes
+            .iter()
+            .zip(&payload)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(wrong <= 2, "{wrong} damaged bytes");
+    }
+}

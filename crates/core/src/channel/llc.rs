@@ -1,0 +1,312 @@
+//! A classic LLC Prime+Probe covert channel (Liu et al., cited as \[7\]) —
+//! the related-work baseline the paper positions itself against.
+//!
+//! Two *regular* (non-enclave) processes on different cores: outside SGX,
+//! hugepages are available, so the spy maps a physically contiguous buffer,
+//! computes an LLC eviction set for one cache set analytically, and runs
+//! textbook Prime+Probe. This channel is much faster than the MEE channel
+//! (no MEE walk per probe, smaller windows) — the paper concedes "other
+//! covert channel attacks have demonstrated higher bit rate" — but it lives
+//! in the LLC, where occupancy/eviction-based defenses watch; the
+//! [`stealth`](crate::experiments::stealth) experiment quantifies the
+//! difference in footprint.
+
+use mee_machine::{run_actor_refs, Actor, ActorRef, ProcId};
+use mee_mem::AddressSpaceKind;
+use mee_types::{Cycles, ModelError, VirtAddr, LINE_SIZE, PAGE_SIZE};
+
+use mee_machine::{CoreHandle, StepOutcome};
+
+use crate::channel::message::BitErrors;
+use crate::channel::prime_probe::PpTrojanActor;
+use crate::setup::AttackSetup;
+
+/// The LLC spy: primes and probes *without* flushing — classic
+/// Prime+Probe relies on conflict misses, and the eviction set's lines
+/// alias in the (smaller) L1/L2 sets, so probe accesses naturally fall
+/// through to the LLC.
+#[derive(Debug)]
+pub struct LlcSpyActor {
+    eviction_set: Vec<VirtAddr>,
+    window: Cycles,
+    start: Cycles,
+    bits: usize,
+    state: LlcSpyState,
+    t1: Cycles,
+    probe_times: Vec<Cycles>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LlcSpyState {
+    WaitWindow(usize),
+    Probe(usize, usize),
+    Close(usize),
+    Finished,
+}
+
+impl LlcSpyActor {
+    /// Creates the LLC spy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the eviction set is empty.
+    pub fn new(eviction_set: Vec<VirtAddr>, window: Cycles, start: Cycles, bits: usize) -> Self {
+        assert!(!eviction_set.is_empty(), "eviction set must be non-empty");
+        LlcSpyActor {
+            eviction_set,
+            window,
+            start,
+            bits,
+            state: LlcSpyState::WaitWindow(0),
+            t1: Cycles::ZERO,
+            probe_times: Vec::new(),
+        }
+    }
+
+    fn window_start(&self, i: usize) -> Cycles {
+        self.start + self.window * i as u64
+    }
+
+    /// Raw sweep durations (index 0 is the cold prime).
+    pub fn probe_times(&self) -> &[Cycles] {
+        &self.probe_times
+    }
+
+    /// Decodes: a sweep slower than `threshold` means a way was evicted.
+    pub fn decode(&self, threshold: Cycles) -> Vec<bool> {
+        self.probe_times
+            .iter()
+            .skip(1)
+            .map(|&t| t > threshold)
+            .collect()
+    }
+}
+
+impl mee_machine::Actor for LlcSpyActor {
+    fn step(&mut self, cpu: &mut CoreHandle<'_>) -> Result<StepOutcome, ModelError> {
+        match self.state {
+            LlcSpyState::WaitWindow(i) => {
+                if i > self.bits {
+                    self.state = LlcSpyState::Finished;
+                    return Ok(StepOutcome::Done);
+                }
+                cpu.busy_until(self.window_start(i));
+                self.t1 = cpu.timer_read();
+                self.state = LlcSpyState::Probe(i, 0);
+            }
+            LlcSpyState::Probe(i, j) => {
+                cpu.read(self.eviction_set[j])?;
+                if j + 1 < self.eviction_set.len() {
+                    self.state = LlcSpyState::Probe(i, j + 1);
+                } else {
+                    self.state = LlcSpyState::Close(i);
+                }
+            }
+            LlcSpyState::Close(i) => {
+                let t2 = cpu.timer_read();
+                self.probe_times.push(t2.saturating_sub(self.t1));
+                self.state = LlcSpyState::WaitWindow(i + 1);
+            }
+            LlcSpyState::Finished => return Ok(StepOutcome::Done),
+        }
+        Ok(StepOutcome::Running)
+    }
+}
+
+/// An established LLC Prime+Probe channel between two regular processes.
+#[derive(Debug, Clone)]
+pub struct LlcSession {
+    /// The spy's regular process.
+    pub spy_proc: ProcId,
+    /// The trojan's regular process.
+    pub trojan_proc: ProcId,
+    /// The spy's LLC eviction set (one address per way).
+    pub eviction_set: Vec<VirtAddr>,
+    /// The trojan's conflicting address.
+    pub target: VirtAddr,
+    /// Window size per bit.
+    pub window: Cycles,
+    /// Probe-time decode threshold.
+    pub probe_threshold: Cycles,
+}
+
+/// Outcome of an LLC-channel transmission.
+#[derive(Debug, Clone)]
+pub struct LlcOutcome {
+    /// What was sent.
+    pub sent: Vec<bool>,
+    /// What was decoded.
+    pub received: Vec<bool>,
+    /// Positional errors.
+    pub errors: BitErrors,
+    /// Raw channel rate in KBps.
+    pub kbps: f64,
+}
+
+impl LlcSession {
+    /// Establishes the channel: maps hugepage-backed buffers for both
+    /// parties and computes the eviction set analytically from physical
+    /// contiguity (the very capability SGX withholds — challenge 3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors.
+    pub fn establish(setup: &mut AttackSetup, window: Cycles) -> Result<Self, ModelError> {
+        let llc = setup.machine.llc().config();
+        let ways = llc.ways;
+        let sets = llc.sets;
+        // Contiguous span covering `ways` lines of one set: ways × sets
+        // lines.
+        let span_pages = (ways * sets * LINE_SIZE).div_ceil(PAGE_SIZE) + 1;
+
+        let spy_proc = setup.machine.create_process(AddressSpaceKind::Regular);
+        let spy_base = VirtAddr::new(0x4000_0000);
+        setup
+            .machine
+            .map_pages_contiguous(spy_proc, spy_base, span_pages)?;
+        let trojan_proc = setup.machine.create_process(AddressSpaceKind::Regular);
+        let trojan_base = VirtAddr::new(0x5000_0000);
+        setup
+            .machine
+            .map_pages_contiguous(trojan_proc, trojan_base, span_pages)?;
+
+        // With physical contiguity, the set index of any VA is computable
+        // from the base alignment (hugepage bases are known-aligned; here we
+        // read the translation once, as real attackers read /proc or probe).
+        let target_set = 0x2a % sets;
+        let line_of = |machine: &mee_machine::Machine, proc, base: VirtAddr| {
+            machine.translate(proc, base).unwrap().line().raw()
+        };
+        let spy_pa_line = line_of(&setup.machine, spy_proc, spy_base);
+        let spy_align = (target_set as u64 + sets as u64
+            - (spy_pa_line % sets as u64))
+            % sets as u64;
+        let eviction_set: Vec<VirtAddr> = (0..ways)
+            .map(|w| spy_base + (spy_align + (w * sets) as u64) * LINE_SIZE as u64)
+            .collect();
+
+        let trojan_pa_line = line_of(&setup.machine, trojan_proc, trojan_base);
+        let trojan_align = (target_set as u64 + sets as u64
+            - (trojan_pa_line % sets as u64))
+            % sets as u64;
+        let target = trojan_base + trojan_align * LINE_SIZE as u64;
+
+        // Calibrate: all-hit probe sweeps (no flushes — the lines alias in
+        // L1/L2 and keep falling through to the LLC) vs the DRAM penalty of
+        // one miss.
+        let mut quiet_total = 0u64;
+        let reps = 8u64;
+        {
+            for &a in &eviction_set {
+                setup.machine.read(setup.spy.core, spy_proc, a)?;
+            }
+            for _ in 0..reps {
+                let t1 = setup.machine.timer_read(setup.spy.core);
+                for &a in &eviction_set {
+                    setup.machine.read(setup.spy.core, spy_proc, a)?;
+                }
+                let t2 = setup.machine.timer_read(setup.spy.core);
+                quiet_total += t2.saturating_sub(t1).raw();
+            }
+        }
+        let t = &setup.machine.config().timing;
+        let miss_penalty = (t.dram_row_hit + t.dram_row_miss) / 2;
+        let probe_threshold = Cycles::new(quiet_total / reps) + miss_penalty / 2;
+
+        Ok(LlcSession {
+            spy_proc,
+            trojan_proc,
+            eviction_set,
+            target,
+            window,
+            probe_threshold,
+        })
+    }
+
+    /// Transmits `bits`, one per window, using the spy/trojan cores of
+    /// `setup` but the regular processes of this session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn transmit(
+        &self,
+        setup: &mut AttackSetup,
+        bits: &[bool],
+    ) -> Result<LlcOutcome, ModelError> {
+        let window = self.window;
+        let now = setup
+            .machine
+            .core_now(setup.spy.core)
+            .max(setup.machine.core_now(setup.trojan.core));
+        let start = Cycles::new((now.raw() / window.raw() + 3) * window.raw());
+
+        let mut trojan = PpTrojanActor::new(self.target, bits.to_vec(), window, start);
+        let mut spy = LlcSpyActor::new(self.eviction_set.clone(), window, start, bits.len());
+        let horizon = start + window * (bits.len() as u64 + 3) + Cycles::new(100_000);
+        {
+            let mut actors: Vec<ActorRef<'_>> = vec![
+                (setup.spy.core, self.spy_proc, &mut spy as &mut dyn Actor),
+                (setup.trojan.core, self.trojan_proc, &mut trojan),
+            ];
+            run_actor_refs(&mut setup.machine, &mut actors, horizon)?;
+        }
+        let received = spy.decode(self.probe_threshold);
+        let errors = BitErrors::compare(bits, &received);
+        let clock_hz = setup.machine.config().timing.clock_hz();
+        let elapsed = window * (bits.len() as u64 + 1);
+        let kbps = (bits.len() as f64 / 8.0) / elapsed.to_seconds(clock_hz) / 1000.0;
+        Ok(LlcOutcome {
+            sent: bits.to_vec(),
+            received,
+            errors,
+            kbps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::message::random_bits;
+
+    #[test]
+    fn eviction_set_really_collides_in_one_llc_set() {
+        let mut setup = AttackSetup::quiet(311).unwrap();
+        let session = LlcSession::establish(&mut setup, Cycles::new(4_000)).unwrap();
+        let sets = setup.machine.llc().config().sets;
+        let set_of = |proc, va| {
+            setup
+                .machine
+                .translate(proc, va)
+                .unwrap()
+                .line()
+                .set_index(sets)
+        };
+        let expected = set_of(session.trojan_proc, session.target);
+        for &a in &session.eviction_set {
+            assert_eq!(set_of(session.spy_proc, a), expected);
+        }
+        assert_eq!(session.eviction_set.len(), setup.machine.llc().config().ways);
+    }
+
+    #[test]
+    fn llc_channel_communicates_and_is_faster() {
+        let mut setup = AttackSetup::quiet(312).unwrap();
+        // 4000-cycle windows: ~131 KBps, far above the MEE channel's 35.
+        let session = LlcSession::establish(&mut setup, Cycles::new(4_000)).unwrap();
+        let bits = random_bits(64, 312);
+        let out = session.transmit(&mut setup, &bits).unwrap();
+        assert_eq!(out.received, bits, "LLC channel miscommunicated");
+        assert!(out.kbps > 100.0, "kbps = {}", out.kbps);
+    }
+
+    #[test]
+    fn llc_channel_under_noise() {
+        let mut setup = AttackSetup::new(313).unwrap();
+        let session = LlcSession::establish(&mut setup, Cycles::new(4_000)).unwrap();
+        let bits = random_bits(256, 313);
+        let out = session.transmit(&mut setup, &bits).unwrap();
+        assert!(out.errors.rate() < 0.08, "error rate {}", out.errors.rate());
+    }
+}

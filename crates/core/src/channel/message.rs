@@ -1,0 +1,103 @@
+//! Bit patterns and error accounting.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The `010101…` pattern of Figure 6.
+pub fn alternating_bits(len: usize) -> Vec<bool> {
+    (0..len).map(|i| i % 2 == 1).collect()
+}
+
+/// The `100100…` pattern of Figure 8 (128 bits in the paper).
+pub fn paper_100_pattern(len: usize) -> Vec<bool> {
+    (0..len).map(|i| i % 3 == 0).collect()
+}
+
+/// Seeded uniform random payload (for bit-rate / error-rate sweeps).
+pub fn random_bits(len: usize, seed: u64) -> Vec<bool> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.random::<bool>()).collect()
+}
+
+/// Positional bit-error accounting between sent and received sequences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitErrors {
+    /// Indices of the erroneous bits.
+    pub positions: Vec<usize>,
+    /// Total compared bits.
+    pub total: usize,
+}
+
+impl BitErrors {
+    /// Compares two sequences positionally (extra received bits are
+    /// ignored; missing ones count as errors).
+    pub fn compare(sent: &[bool], received: &[bool]) -> Self {
+        let positions = (0..sent.len())
+            .filter(|&i| received.get(i).copied() != Some(sent[i]))
+            .collect();
+        BitErrors {
+            positions,
+            total: sent.len(),
+        }
+    }
+
+    /// Number of bit errors.
+    pub fn count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Error rate in `[0, 1]`.
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count() as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternating_starts_with_zero() {
+        assert_eq!(alternating_bits(4), vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn paper_pattern_is_100100() {
+        assert_eq!(
+            paper_100_pattern(6),
+            vec![true, false, false, true, false, false]
+        );
+        // 128 bits like Figure 8.
+        let p = paper_100_pattern(128);
+        assert_eq!(p.iter().filter(|&&b| b).count(), 43);
+    }
+
+    #[test]
+    fn random_bits_are_seeded() {
+        assert_eq!(random_bits(64, 9), random_bits(64, 9));
+        assert_ne!(random_bits(64, 9), random_bits(64, 10));
+        let ones = random_bits(4096, 1).iter().filter(|&&b| b).count();
+        assert!((1700..=2400).contains(&ones), "bias: {ones}/4096 ones");
+    }
+
+    #[test]
+    fn error_accounting() {
+        let sent = vec![true, false, true, true];
+        let recv = vec![true, true, true];
+        let e = BitErrors::compare(&sent, &recv);
+        assert_eq!(e.positions, vec![1, 3]); // flipped, missing
+        assert_eq!(e.count(), 2);
+        assert!((e.rate() - 0.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn empty_comparison_is_error_free() {
+        let e = BitErrors::compare(&[], &[]);
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.rate(), 0.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! A reliable (error-free) transport over the MEE channel (extension).
+//!
+//! The paper compares against Maurice et al.'s *error-free* LLC covert
+//! channel (\[9\]) and reports its own rates "without any error handling".
+//! This module closes that gap with a stop-and-wait ARQ:
+//!
+//! * the **forward** session carries data frames — a sequence bit, the
+//!   payload chunk, and a CRC-8 — from the trojan to the spy;
+//! * a second, **reverse** session (established with the roles swapped:
+//!   the spy owns an eviction set, the trojan a monitor address — the
+//!   medium is symmetric) carries 4-bit ACK/NAK replies;
+//! * corrupted frames (bad CRC or wrong sequence bit) are retransmitted
+//!   until acknowledged, bounding the residual error rate at the CRC's
+//!   undetected-error probability (< 0.4% per corrupted frame, and frames
+//!   are rarely corrupted to begin with).
+//!
+//! Because the two directions share the MEE cache but use different
+//! agreed offsets (hence different cache sets), they do not collide.
+
+use mee_types::ModelError;
+
+use crate::channel::config::ChannelConfig;
+use crate::channel::session::Session;
+use crate::setup::AttackSetup;
+
+/// CRC-8 (polynomial 0x07), bitwise over a bool slice.
+pub fn crc8(bits: &[bool]) -> u8 {
+    let mut crc: u8 = 0;
+    for &bit in bits {
+        let msb = (crc & 0x80) != 0;
+        crc <<= 1;
+        if msb ^ bit {
+            crc ^= 0x07;
+        }
+    }
+    crc
+}
+
+fn byte_to_bits(b: u8) -> Vec<bool> {
+    (0..8).rev().map(|i| (b >> i) & 1 == 1).collect()
+}
+
+fn bits_to_byte(bits: &[bool]) -> u8 {
+    bits.iter().fold(0u8, |acc, &b| (acc << 1) | b as u8)
+}
+
+/// The ACK reply pattern (4 bits) — chosen with Hamming distance 4 from
+/// the NAK pattern so a single flipped reply bit cannot convert one into
+/// the other.
+const ACK: [bool; 4] = [true, false, true, false];
+/// The NAK reply pattern.
+const NAK: [bool; 4] = [false, true, false, true];
+
+/// Statistics of one reliable transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReliableStats {
+    /// Data frames delivered.
+    pub frames: usize,
+    /// Retransmissions performed.
+    pub retransmissions: usize,
+    /// Total forward bits on the wire (including frame overhead).
+    pub wire_bits: usize,
+}
+
+/// A bidirectional reliable link: data forward, ACKs backward.
+#[derive(Debug, Clone)]
+pub struct ReliableLink {
+    forward: Session,
+    reverse: Session,
+    /// Payload bits per frame.
+    chunk: usize,
+    /// Give up after this many retransmissions of one frame.
+    max_retries: usize,
+}
+
+impl ReliableLink {
+    /// Establishes both directions. The forward session uses
+    /// `cfg.agreed_offset`; the reverse session uses the next offset
+    /// (mod 8) so the two directions occupy different MEE-cache sets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates establishment errors from either direction.
+    pub fn establish(setup: &mut AttackSetup, cfg: &ChannelConfig) -> Result<Self, ModelError> {
+        let forward = Session::establish(setup, cfg)?;
+        let reverse_cfg = ChannelConfig {
+            agreed_offset: (cfg.agreed_offset + 1) % 8,
+            ..cfg.clone()
+        };
+        let (sender, receiver) = (setup.spy, setup.trojan);
+        let reverse = Session::establish_directed(setup, sender, receiver, &reverse_cfg)?;
+        Ok(ReliableLink {
+            forward,
+            reverse,
+            chunk: 16,
+            max_retries: 16,
+        })
+    }
+
+    /// Sends `payload` reliably; returns the receiver's copy (equal to the
+    /// payload unless the CRC was defeated or a frame exhausted its
+    /// retries) plus transfer statistics.
+    ///
+    /// # Errors
+    ///
+    /// * Propagates machine errors.
+    /// * Returns [`ModelError::InvalidConfig`] if a frame exhausts
+    ///   `max_retries` (the channel is catastrophically broken).
+    pub fn send(
+        &self,
+        setup: &mut AttackSetup,
+        payload: &[bool],
+    ) -> Result<(Vec<bool>, ReliableStats), ModelError> {
+        let mut delivered = Vec::with_capacity(payload.len());
+        let mut stats = ReliableStats {
+            frames: 0,
+            retransmissions: 0,
+            wire_bits: 0,
+        };
+        let mut seq = false;
+        for chunk in payload.chunks(self.chunk) {
+            let mut tries = 0;
+            loop {
+                if tries > self.max_retries {
+                    return Err(ModelError::InvalidConfig {
+                        reason: format!(
+                            "frame {} exhausted {} retransmissions",
+                            stats.frames, self.max_retries
+                        ),
+                    });
+                }
+                tries += 1;
+
+                // Frame: seq bit + fixed-size payload (zero-padded) + CRC-8.
+                let mut frame = vec![seq];
+                let mut padded = chunk.to_vec();
+                padded.resize(self.chunk, false);
+                frame.extend_from_slice(&padded);
+                frame.extend(byte_to_bits(crc8(&frame)));
+
+                let out = self.forward.transmit(setup, &frame)?;
+                stats.wire_bits += frame.len();
+                let rx = &out.received;
+
+                // Receiver-side validation (the spy would do this).
+                let ok = rx.len() == frame.len() && {
+                    let (body, crc_bits) = rx.split_at(rx.len() - 8);
+                    crc8(body) == bits_to_byte(crc_bits) && body[0] == seq
+                };
+
+                // Reply on the reverse channel.
+                let reply = if ok { ACK } else { NAK };
+                let reply_out = self.reverse.transmit(setup, &reply)?;
+                let acked = {
+                    // Nearest-pattern decode of the reply.
+                    let r = &reply_out.received;
+                    let dist = |p: &[bool; 4]| {
+                        p.iter()
+                            .zip(r.iter())
+                            .filter(|(a, b)| a != b)
+                            .count()
+                            + p.len().saturating_sub(r.len())
+                    };
+                    dist(&ACK) < dist(&NAK)
+                };
+
+                if ok && acked {
+                    delivered.extend_from_slice(&rx[1..1 + chunk.len()]);
+                    stats.frames += 1;
+                    seq = !seq;
+                    break;
+                }
+                // NAK, damaged frame, or damaged reply: retransmit. If the
+                // frame was fine but the ACK got lost, the duplicate is
+                // filtered by the sequence bit on the receiver side — here
+                // the sender view suffices because `delivered` only grows on
+                // accept.
+                stats.retransmissions += 1;
+            }
+        }
+        Ok((delivered, stats))
+    }
+
+    /// Effective goodput in KBps for a completed transfer.
+    pub fn goodput_kbps(
+        &self,
+        setup: &AttackSetup,
+        payload_bits: usize,
+        stats: &ReliableStats,
+    ) -> f64 {
+        let window = self.forward.config.window.raw() as f64;
+        let frame_bits = (self.chunk + 9) as f64;
+        let frames_sent = stats.frames as f64 + stats.retransmissions as f64;
+        // Each frame costs its windows plus an ACK round (4+2 windows).
+        let cycles = frames_sent * ((frame_bits + 2.0) + 7.0) * window;
+        let clock = setup.machine.config().timing.clock_hz();
+        (payload_bits as f64 / 8.0) / (cycles / clock) / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::message::random_bits;
+
+    #[test]
+    fn crc8_detects_single_bit_flips() {
+        let data = random_bits(24, 1);
+        let c = crc8(&data);
+        for i in 0..data.len() {
+            let mut d = data.clone();
+            d[i] = !d[i];
+            assert_ne!(crc8(&d), c, "flip at {i} undetected");
+        }
+    }
+
+    #[test]
+    fn ack_nak_distance_is_four() {
+        let d = ACK.iter().zip(NAK.iter()).filter(|(a, b)| a != b).count();
+        assert_eq!(d, 4);
+    }
+
+    #[test]
+    fn reliable_transfer_is_exact_on_quiet_machine() {
+        let mut setup = AttackSetup::quiet(701).unwrap();
+        let link = ReliableLink::establish(&mut setup, &ChannelConfig::default()).unwrap();
+        let payload = random_bits(96, 701);
+        let (rx, stats) = link.send(&mut setup, &payload).unwrap();
+        assert_eq!(rx, payload);
+        assert_eq!(stats.retransmissions, 0);
+        assert_eq!(stats.frames, 6);
+    }
+
+    #[test]
+    fn reliable_transfer_is_exact_under_noise() {
+        let mut setup = AttackSetup::new(702).unwrap();
+        let link = ReliableLink::establish(&mut setup, &ChannelConfig::default()).unwrap();
+        let payload = random_bits(256, 702);
+        let (rx, stats) = link.send(&mut setup, &payload).unwrap();
+        assert_eq!(
+            rx, payload,
+            "ARQ failed to deliver exactly ({} retransmissions)",
+            stats.retransmissions
+        );
+        // Under ~1-2% raw BER with ~25-bit frames, some retransmissions are
+        // expected but the link must not thrash.
+        assert!(stats.retransmissions < stats.frames, "link thrashing");
+    }
+
+    #[test]
+    fn reverse_channel_runs_spy_to_trojan() {
+        let mut setup = AttackSetup::quiet(703).unwrap();
+        let link = ReliableLink::establish(&mut setup, &ChannelConfig::default()).unwrap();
+        assert_eq!(link.forward.sender.proc, setup.trojan.proc);
+        assert_eq!(link.reverse.sender.proc, setup.spy.proc);
+        assert_ne!(
+            link.forward.config.agreed_offset,
+            link.reverse.config.agreed_offset
+        );
+    }
+}

@@ -1,0 +1,334 @@
+//! Establishing and running the covert channel.
+
+use mee_machine::{run_actor_refs, ActorRef};
+use mee_types::{Cycles, ModelError, VirtAddr};
+
+use crate::channel::config::ChannelConfig;
+use crate::channel::message::BitErrors;
+use crate::channel::spy::SpyActor;
+use crate::channel::trojan::TrojanActor;
+use crate::recon::eviction::find_eviction_set;
+use crate::setup::{AttackSetup, Tenant};
+use crate::threshold::LatencyClassifier;
+
+/// An established MEE-cache covert channel: the trojan's eviction set and
+/// the spy's monitor address, in conflict within one MEE-cache set.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// The trojan's eviction addresses (Algorithm 1's output).
+    pub eviction_set: Vec<VirtAddr>,
+    /// The spy's monitor address.
+    pub monitor: VirtAddr,
+    /// The channel parameters.
+    pub config: ChannelConfig,
+    /// The sending tenant (holds the eviction set).
+    pub sender: Tenant,
+    /// The receiving tenant (probes the monitor address).
+    pub receiver: Tenant,
+    /// Classifier for true-latency samples (setup-time probes).
+    classifier: LatencyClassifier,
+}
+
+/// The result of one transmission.
+#[derive(Debug, Clone)]
+pub struct TransmitOutcome {
+    /// What the trojan sent.
+    pub sent: Vec<bool>,
+    /// What the spy decoded.
+    pub received: Vec<bool>,
+    /// The spy's de-biased probe durations (index 0 is the prime probe) —
+    /// the y-axis of Figures 6(b) and 8.
+    pub probe_times: Vec<Cycles>,
+    /// Positional bit errors.
+    pub errors: BitErrors,
+    /// Wall-clock (simulated) duration of the transmission.
+    pub elapsed: Cycles,
+    /// Achieved rate in kilobytes per second at the machine's clock.
+    pub kbps: f64,
+    /// The trojan's per-`1` active sending cost (≈ 9000 cycles, §5.4).
+    pub one_costs: Vec<Cycles>,
+}
+
+impl TransmitOutcome {
+    /// Bit error rate in `[0, 1]`.
+    pub fn error_rate(&self) -> f64 {
+        self.errors.rate()
+    }
+}
+
+/// Internal helper naming the handle construction for a tenant.
+struct CoreHandleOwner;
+
+impl CoreHandleOwner {
+    fn handle(setup: &mut AttackSetup, tenant: Tenant) -> mee_machine::CoreHandle<'_> {
+        mee_machine::CoreHandle::new(&mut setup.machine, tenant.core, tenant.proc)
+    }
+}
+
+impl Session {
+    /// Establishes the channel (paper §5.3):
+    ///
+    /// 1. the trojan runs Algorithm 1 over its 4 KiB-stride candidates at
+    ///    the agreed in-page offset, producing its eviction set;
+    /// 2. the spy scans its own candidates at the same offset for the
+    ///    *monitor address*: it primes a candidate, lets the trojan sweep
+    ///    its eviction set, and re-probes — a versions miss means the
+    ///    candidate conflicts with the trojan's set.
+    ///
+    /// # Errors
+    ///
+    /// * Propagates machine errors and Algorithm 1 failures.
+    /// * Returns [`ModelError::InvalidConfig`] if no monitor address is
+    ///   found (raise `spy_candidates`; each conflicts with probability
+    ///   1/8).
+    pub fn establish(setup: &mut AttackSetup, cfg: &ChannelConfig) -> Result<Self, ModelError> {
+        let (sender, receiver) = (setup.trojan, setup.spy);
+        Self::establish_directed(setup, sender, receiver, cfg)
+    }
+
+    /// Like [`Self::establish`] with explicit roles — the reverse direction
+    /// (`spy` sending, `trojan` receiving) carries the ACKs of the reliable
+    /// transport ([`reliable`](crate::channel::reliable)).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::establish`].
+    pub fn establish_directed(
+        setup: &mut AttackSetup,
+        sender: Tenant,
+        receiver: Tenant,
+        cfg: &ChannelConfig,
+    ) -> Result<Self, ModelError> {
+        cfg.validate()?;
+        let classifier = LatencyClassifier::from_timing(&setup.machine.config().timing);
+
+        // 1. The sender builds its eviction set.
+        let candidates = sender.candidates(cfg.trojan_candidates, cfg.agreed_offset);
+        let eviction = {
+            let mut cpu = CoreHandleOwner::handle(setup, sender);
+            find_eviction_set(&mut cpu, &candidates, &classifier, cfg.setup_reps)?
+        };
+        let eviction_set = eviction.eviction_set;
+
+        // 2. The receiver searches for its monitor address.
+        let spy_candidates = receiver.candidates(cfg.spy_candidates, cfg.agreed_offset);
+        let mut monitor = None;
+        'search: for &candidate in &spy_candidates {
+            let mut votes = 0usize;
+            for _ in 0..cfg.setup_reps {
+                setup.sync_clocks();
+                // The receiver primes the candidate.
+                {
+                    let mut spy = CoreHandleOwner::handle(setup, receiver);
+                    spy.read(candidate)?;
+                    spy.clflush(candidate)?;
+                    spy.mfence();
+                }
+                // The sender sweeps (forward + backward, as for a '1').
+                setup.sync_clocks();
+                {
+                    let mut trojan = CoreHandleOwner::handle(setup, sender);
+                    for &a in &eviction_set {
+                        trojan.read(a)?;
+                        trojan.clflush(a)?;
+                    }
+                    trojan.mfence();
+                    for &a in eviction_set.iter().rev() {
+                        trojan.read(a)?;
+                        trojan.clflush(a)?;
+                    }
+                    trojan.mfence();
+                }
+                // The receiver re-probes: a miss means conflict.
+                setup.sync_clocks();
+                let lat = {
+                    let mut spy = CoreHandleOwner::handle(setup, receiver);
+                    let lat = spy.read(candidate)?;
+                    spy.clflush(candidate)?;
+                    lat
+                };
+                if classifier.is_versions_miss(lat) {
+                    votes += 1;
+                }
+            }
+            if votes * 2 > cfg.setup_reps {
+                monitor = Some(candidate);
+                break 'search;
+            }
+        }
+        let monitor = monitor.ok_or_else(|| ModelError::InvalidConfig {
+            reason: format!(
+                "no monitor address among {} spy candidates conflicts with the \
+                 trojan's eviction set; increase spy_candidates",
+                cfg.spy_candidates
+            ),
+        })?;
+
+        Ok(Session {
+            eviction_set,
+            monitor,
+            config: cfg.clone(),
+            sender,
+            receiver,
+            classifier,
+        })
+    }
+
+    /// Transmits `bits` over the channel: the trojan and the spy run
+    /// concurrently (different cores), one bit per timing window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn transmit(
+        &self,
+        setup: &mut AttackSetup,
+        bits: &[bool],
+    ) -> Result<TransmitOutcome, ModelError> {
+        self.transmit_with_noise(setup, bits, &mut [])
+    }
+
+    /// Like [`Self::transmit`] but with additional noise actors running
+    /// concurrently on other cores (Figure 8's environments).
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn transmit_with_noise(
+        &self,
+        setup: &mut AttackSetup,
+        bits: &[bool],
+        noise: &mut [ActorRef<'_>],
+    ) -> Result<TransmitOutcome, ModelError> {
+        let window = self.config.window;
+        // Agree on a start boundary comfortably after both clocks.
+        let now = setup
+            .machine
+            .core_now(self.receiver.core)
+            .max(setup.machine.core_now(self.sender.core));
+        let start = Cycles::new((now.raw() / window.raw() + 3) * window.raw());
+
+        let mut trojan = TrojanActor::with_rotation(
+            self.eviction_set.clone(),
+            bits.to_vec(),
+            window,
+            start,
+            self.config.strategy,
+            self.config.rotate_sweep,
+        );
+        let timer_classifier = LatencyClassifier {
+            threshold: self.classifier.threshold,
+            bias: setup.machine.config().timing.timer_read,
+        };
+        let mut spy = SpyActor::new(self.monitor, window, start, bits.len(), timer_classifier);
+
+        let horizon = start + window * (bits.len() as u64 + 3) + Cycles::new(100_000);
+        {
+            let mut actors: Vec<ActorRef<'_>> = vec![
+                (self.receiver.core, self.receiver.proc, &mut spy),
+                (self.sender.core, self.sender.proc, &mut trojan),
+            ];
+            for (core, proc, actor) in noise.iter_mut() {
+                actors.push((*core, *proc, &mut **actor));
+            }
+            run_actor_refs(&mut setup.machine, &mut actors, horizon)?;
+        }
+
+        let received = spy.decoded_bits();
+        let errors = BitErrors::compare(bits, &received);
+        let elapsed = window * (bits.len() as u64 + 1);
+        let clock_hz = setup.machine.config().timing.clock_hz();
+        let kbps = (bits.len() as f64 / 8.0) / elapsed.to_seconds(clock_hz) / 1000.0;
+        Ok(TransmitOutcome {
+            sent: bits.to_vec(),
+            received,
+            probe_times: spy.probe_times().to_vec(),
+            errors,
+            elapsed,
+            kbps,
+            one_costs: trojan.one_costs().to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::message::{alternating_bits, random_bits};
+
+    #[test]
+    fn establish_finds_conflicting_monitor() {
+        let mut setup = AttackSetup::quiet(71).unwrap();
+        let session = Session::establish(&mut setup, &ChannelConfig::default()).unwrap();
+        assert_eq!(session.eviction_set.len(), 8);
+
+        // Ground truth: monitor's versions line shares the set with the
+        // eviction set's versions lines.
+        let geo = *setup.machine.mee().geometry();
+        let sets = setup.machine.mee().cache().config().sets;
+        let set_of = |proc, va: VirtAddr| {
+            let pa = setup.machine.translate(proc, va).unwrap();
+            geo.version_line(geo.walk_path(pa.line()).version)
+                .set_index(sets)
+        };
+        let monitor_set = set_of(setup.spy.proc, session.monitor);
+        for &a in &session.eviction_set {
+            assert_eq!(set_of(setup.trojan.proc, a), monitor_set);
+        }
+    }
+
+    #[test]
+    fn quiet_channel_is_error_free() {
+        let mut setup = AttackSetup::quiet(72).unwrap();
+        let session = Session::establish(&mut setup, &ChannelConfig::default()).unwrap();
+        let bits = alternating_bits(32);
+        let out = session.transmit(&mut setup, &bits).unwrap();
+        assert_eq!(
+            out.received, bits,
+            "noise-free transmission must be perfect: {} errors at {:?}",
+            out.errors.count(),
+            out.errors.positions
+        );
+    }
+
+    #[test]
+    fn probe_times_show_figure6b_separation() {
+        let mut setup = AttackSetup::quiet(73).unwrap();
+        let session = Session::establish(&mut setup, &ChannelConfig::default()).unwrap();
+        let bits = alternating_bits(16);
+        let out = session.transmit(&mut setup, &bits).unwrap();
+        // '0' probes near 480, '1' probes near 750 (§5.4).
+        for (i, &bit) in bits.iter().enumerate() {
+            let t = out.probe_times[i + 1].raw();
+            if bit {
+                assert!((640..=1000).contains(&t), "bit {i} ('1') probe {t}");
+            } else {
+                assert!((380..=620).contains(&t), "bit {i} ('0') probe {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_channel_matches_headline_error_rate() {
+        // Default (noisy) machine at the 15000-cycle window: §5.4 reports
+        // 1.7% error. Allow a generous band.
+        let mut setup = AttackSetup::new(74).unwrap();
+        let session = Session::establish(&mut setup, &ChannelConfig::default()).unwrap();
+        let bits = random_bits(512, 74);
+        let out = session.transmit(&mut setup, &bits).unwrap();
+        let rate = out.error_rate();
+        assert!(rate < 0.08, "error rate {rate} too high");
+        // And the bit rate is the paper's 35 KBps ballpark.
+        assert!((30.0..=40.0).contains(&out.kbps), "kbps = {}", out.kbps);
+    }
+
+    #[test]
+    fn sessions_are_reusable() {
+        let mut setup = AttackSetup::quiet(75).unwrap();
+        let session = Session::establish(&mut setup, &ChannelConfig::default()).unwrap();
+        let first = session.transmit(&mut setup, &[true, false, true]).unwrap();
+        let second = session.transmit(&mut setup, &[false, true, false]).unwrap();
+        assert_eq!(first.received, vec![true, false, true]);
+        assert_eq!(second.received, vec![false, true, false]);
+    }
+}

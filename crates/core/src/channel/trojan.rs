@@ -1,0 +1,256 @@
+//! The trojan side of Algorithm 2.
+
+use mee_machine::{Actor, CoreHandle, StepOutcome};
+use mee_types::{Cycles, ModelError, VirtAddr};
+
+use crate::channel::config::EvictionStrategy;
+
+/// The sending actor: for every `1` bit it sweeps its eviction set through
+/// the MEE cache (access + `clflush` per address, forward then — under
+/// [`EvictionStrategy::TwoPhase`] — backward, as in Algorithm 2), evicting
+/// the spy's versions line; for every `0` it stays idle for the window.
+///
+/// One refinement over the paper's pseudocode: the sweep's starting element
+/// rotates from one `1` to the next (the order stays cyclic-forward then
+/// cyclic-backward). Under a deterministic tree-PLRU model, a fixed sweep
+/// order can fall into an *absorbing replacement-state cycle* in which the
+/// monitor line survives every sweep and the channel silently dies; on real
+/// hardware, ambient MEE traffic perturbs the replacement state and prevents
+/// the lock-in. Rotating the start point restores that behaviour without
+/// extra accesses.
+#[derive(Debug)]
+pub struct TrojanActor {
+    eviction_set: Vec<VirtAddr>,
+    bits: Vec<bool>,
+    window: Cycles,
+    start: Cycles,
+    strategy: EvictionStrategy,
+    state: State,
+    /// Sweep-start rotation, advanced per transmitted `1`.
+    rotation: usize,
+    /// Whether rotation is enabled.
+    rotate: bool,
+    /// Cycles spent actively sending each `1` bit (diagnostics for the
+    /// Figure-7 discussion: one `1` costs ≈ 9000 cycles).
+    one_costs: Vec<Cycles>,
+    one_started: Cycles,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    WaitStart,
+    BitStart(usize),
+    Forward(usize, usize),
+    Fence(usize),
+    Backward(usize, usize),
+    WaitWindowEnd(usize),
+    Finished,
+}
+
+impl TrojanActor {
+    /// Creates the trojan. `start` is the agreed first window boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the eviction set is empty.
+    pub fn new(
+        eviction_set: Vec<VirtAddr>,
+        bits: Vec<bool>,
+        window: Cycles,
+        start: Cycles,
+        strategy: EvictionStrategy,
+    ) -> Self {
+        Self::with_rotation(eviction_set, bits, window, start, strategy, true)
+    }
+
+    /// Like [`Self::new`] with explicit control over sweep-start rotation
+    /// (the ablation bench disables it to study the naive fixed order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the eviction set is empty.
+    pub fn with_rotation(
+        eviction_set: Vec<VirtAddr>,
+        bits: Vec<bool>,
+        window: Cycles,
+        start: Cycles,
+        strategy: EvictionStrategy,
+        rotate: bool,
+    ) -> Self {
+        assert!(!eviction_set.is_empty(), "eviction set must be non-empty");
+        TrojanActor {
+            eviction_set,
+            bits,
+            window,
+            start,
+            strategy,
+            state: State::WaitStart,
+            rotation: 0,
+            rotate,
+            one_costs: Vec::new(),
+            one_started: Cycles::ZERO,
+        }
+    }
+
+    /// Start of window `i`.
+    fn window_start(&self, i: usize) -> Cycles {
+        self.start + self.window * i as u64
+    }
+
+    /// The `j`-th element of the current cyclic sweep order.
+    fn sweep_addr(&self, j: usize) -> VirtAddr {
+        let n = self.eviction_set.len();
+        self.eviction_set[(self.rotation + j) % n]
+    }
+
+    /// Per-`1` active sending costs observed so far.
+    pub fn one_costs(&self) -> &[Cycles] {
+        &self.one_costs
+    }
+}
+
+impl Actor for TrojanActor {
+    fn step(&mut self, cpu: &mut CoreHandle<'_>) -> Result<StepOutcome, ModelError> {
+        match self.state {
+            State::WaitStart => {
+                cpu.busy_until(self.start);
+                self.state = State::BitStart(0);
+            }
+            State::BitStart(i) => {
+                if i >= self.bits.len() {
+                    self.state = State::Finished;
+                    return Ok(StepOutcome::Done);
+                }
+                if self.bits[i] {
+                    self.one_started = cpu.now();
+                    self.state = State::Forward(i, 0);
+                } else {
+                    // Algorithm 2: "busy loop for time T_sync".
+                    cpu.busy_until(self.window_start(i + 1));
+                    self.state = State::BitStart(i + 1);
+                }
+            }
+            State::Forward(i, j) => {
+                let addr = self.sweep_addr(j);
+                cpu.read(addr)?;
+                cpu.clflush(addr)?;
+                if j + 1 < self.eviction_set.len() {
+                    self.state = State::Forward(i, j + 1);
+                } else {
+                    self.state = State::Fence(i);
+                }
+            }
+            State::Fence(i) => {
+                cpu.mfence();
+                match self.strategy {
+                    EvictionStrategy::TwoPhase => {
+                        self.state = State::Backward(i, self.eviction_set.len() - 1);
+                    }
+                    EvictionStrategy::ForwardOnly => {
+                        self.one_costs.push(cpu.now() - self.one_started);
+                        if self.rotate {
+                            self.rotation = (self.rotation + 1) % self.eviction_set.len();
+                        }
+                        self.state = State::WaitWindowEnd(i);
+                    }
+                }
+            }
+            State::Backward(i, j) => {
+                let addr = self.sweep_addr(j);
+                cpu.read(addr)?;
+                cpu.clflush(addr)?;
+                if j > 0 {
+                    self.state = State::Backward(i, j - 1);
+                } else {
+                    self.one_costs.push(cpu.now() - self.one_started);
+                    if self.rotate {
+                        self.rotation = (self.rotation + 1) % self.eviction_set.len();
+                    }
+                    self.state = State::WaitWindowEnd(i);
+                }
+            }
+            State::WaitWindowEnd(i) => {
+                // "busy loop for remaining time of T_sync".
+                cpu.busy_until(self.window_start(i + 1));
+                self.state = State::BitStart(i + 1);
+            }
+            State::Finished => return Ok(StepOutcome::Done),
+        }
+        Ok(StepOutcome::Running)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::AttackSetup;
+    use mee_machine::{run_actors, ActorBinding};
+
+    #[test]
+    fn zero_bits_cost_nothing_but_time() {
+        let mut setup = AttackSetup::quiet(51).unwrap();
+        let addrs = setup.trojan.candidates(8, 0);
+        let window = Cycles::new(15_000);
+        let trojan = TrojanActor::new(
+            addrs,
+            vec![false, false, false],
+            window,
+            Cycles::new(1_000),
+            EvictionStrategy::TwoPhase,
+        );
+        let reads_before = setup.machine.mee().stats().reads;
+        let mut bindings = vec![ActorBinding {
+            core: setup.trojan.core,
+            proc: setup.trojan.proc,
+            actor: Box::new(trojan),
+        }];
+        run_actors(&mut setup.machine, &mut bindings, Cycles::new(1_000_000)).unwrap();
+        assert_eq!(setup.machine.mee().stats().reads, reads_before);
+        assert!(setup.machine.core_now(setup.trojan.core) >= Cycles::new(1_000 + 45_000));
+    }
+
+    #[test]
+    fn one_bit_costs_about_9000_cycles() {
+        let mut setup = AttackSetup::quiet(52).unwrap();
+        let addrs = setup.trojan.candidates(8, 0);
+        // Warm the eviction set once so the measurement reflects steady
+        // state (mostly versions hits), as during a real transmission.
+        {
+            let mut cpu = setup.trojan_handle();
+            for &a in &addrs {
+                cpu.read(a).unwrap();
+                cpu.clflush(a).unwrap();
+            }
+        }
+        let start = setup.machine.core_now(setup.trojan.core) + Cycles::new(1_000);
+        let mut trojan = TrojanActor::new(
+            addrs,
+            vec![true, true, true, true],
+            Cycles::new(15_000),
+            start,
+            EvictionStrategy::TwoPhase,
+        );
+        // Single actor: drive it directly, no scheduler needed.
+        let mut cpu = setup.trojan_handle();
+        while trojan.step(&mut cpu).unwrap() == StepOutcome::Running {}
+        assert_eq!(trojan.one_costs().len(), 4);
+        for &c in trojan.one_costs() {
+            assert!(
+                (7_000..=12_000).contains(&c.raw()),
+                "one-bit cost {c} outside the §5.4 ballpark"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_eviction_set_rejected() {
+        let _ = TrojanActor::new(
+            Vec::new(),
+            vec![true],
+            Cycles::new(100),
+            Cycles::ZERO,
+            EvictionStrategy::TwoPhase,
+        );
+    }
+}

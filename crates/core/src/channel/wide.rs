@@ -1,0 +1,452 @@
+//! The *wide* channel (extension): several MEE-cache sets in parallel.
+//!
+//! The paper's channel sends one bit per timing window through one cache
+//! set. Nothing stops the pair from agreeing on several in-page offsets:
+//! each of the 8 version blocks of a page maps to a *different* MEE-cache
+//! set (offset `o` lands on set `≡ 2o+1 (mod 16)` within its alignment
+//! class), so up to 8 independent lanes coexist without colliding. The
+//! trojan sweeps the eviction sets of all `1` lanes inside the window; the
+//! spy probes one monitor address per lane in its guard slot.
+//!
+//! Throughput: a lane's `1` costs ≈ 9000 cycles of trojan time, so the
+//! window must grow with the lane count and the speedup saturates around
+//! `15000 / 9000 ≈ 1.7×` — but latency per symbol improves, and the lanes
+//! share one setup. The [`wide` experiment](crate::experiments::wide)
+//! quantifies the trade-off.
+
+use mee_machine::{run_actor_refs, Actor, ActorRef, CoreHandle, StepOutcome};
+use mee_types::{Cycles, ModelError, VirtAddr};
+
+use crate::channel::config::ChannelConfig;
+use crate::channel::message::BitErrors;
+use crate::channel::session::Session;
+use crate::setup::AttackSetup;
+use crate::threshold::LatencyClassifier;
+
+/// One lane: an eviction set and a monitor address in one MEE-cache set.
+#[derive(Debug, Clone)]
+pub struct Lane {
+    /// The trojan's eviction addresses for this lane.
+    pub eviction_set: Vec<VirtAddr>,
+    /// The spy's monitor address for this lane.
+    pub monitor: VirtAddr,
+    /// The agreed in-page offset this lane uses.
+    pub offset: usize,
+}
+
+/// A multi-lane channel.
+#[derive(Debug, Clone)]
+pub struct WideSession {
+    /// The lanes, in symbol bit order (lane 0 = most significant).
+    pub lanes: Vec<Lane>,
+    /// Window per symbol.
+    pub window: Cycles,
+    classifier: LatencyClassifier,
+}
+
+/// Outcome of a wide transmission.
+#[derive(Debug, Clone)]
+pub struct WideOutcome {
+    /// Bits sent (flattened symbols, lane-major within each window).
+    pub sent: Vec<bool>,
+    /// Bits decoded.
+    pub received: Vec<bool>,
+    /// Positional errors over the flattened stream.
+    pub errors: BitErrors,
+    /// Effective rate in KBps.
+    pub kbps: f64,
+}
+
+impl WideSession {
+    /// Establishes `lanes` parallel lanes (1 ..= 8) by running the ordinary
+    /// establishment once per agreed offset.
+    ///
+    /// The window defaults to `max(cfg.window, lanes × 9500 + 2500)` so the
+    /// trojan can sweep every active lane within one window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates establishment errors; returns
+    /// [`ModelError::InvalidConfig`] for a lane count outside `1..=8`.
+    pub fn establish(
+        setup: &mut AttackSetup,
+        cfg: &ChannelConfig,
+        lanes: usize,
+    ) -> Result<Self, ModelError> {
+        if !(1..=8).contains(&lanes) {
+            return Err(ModelError::InvalidConfig {
+                reason: format!("lane count {lanes} must be in 1..=8 (one per version block)"),
+            });
+        }
+        cfg.validate()?;
+        let mut built = Vec::with_capacity(lanes);
+        for lane in 0..lanes {
+            let lane_cfg = ChannelConfig {
+                agreed_offset: lane,
+                ..cfg.clone()
+            };
+            let session = Session::establish(setup, &lane_cfg)?;
+            built.push(Lane {
+                eviction_set: session.eviction_set,
+                monitor: session.monitor,
+                offset: lane,
+            });
+        }
+        let min_window = Cycles::new(lanes as u64 * 9_500 + 2_500);
+        Ok(WideSession {
+            lanes: built,
+            window: cfg.window.max(min_window),
+            classifier: LatencyClassifier::from_timing(&setup.machine.config().timing),
+        })
+    }
+
+    /// Transmits `bits` (flattened symbols: window `w` carries bits
+    /// `w*lanes .. (w+1)*lanes`, zero-padded at the tail).
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn transmit(
+        &self,
+        setup: &mut AttackSetup,
+        bits: &[bool],
+    ) -> Result<WideOutcome, ModelError> {
+        let lanes = self.lanes.len();
+        let symbols = bits.len().div_ceil(lanes);
+        let mut padded = bits.to_vec();
+        padded.resize(symbols * lanes, false);
+
+        let window = self.window;
+        let now = setup
+            .machine
+            .core_now(setup.spy.core)
+            .max(setup.machine.core_now(setup.trojan.core));
+        let start = Cycles::new((now.raw() / window.raw() + 3) * window.raw());
+
+        let mut trojan = WideTrojanActor::new(
+            self.lanes.iter().map(|l| l.eviction_set.clone()).collect(),
+            padded.clone(),
+            lanes,
+            window,
+            start,
+        );
+        let timer_classifier = LatencyClassifier {
+            threshold: self.classifier.threshold,
+            bias: setup.machine.config().timing.timer_read,
+        };
+        let mut spy = WideSpyActor::new(
+            self.lanes.iter().map(|l| l.monitor).collect(),
+            window,
+            start,
+            symbols,
+            timer_classifier,
+        );
+
+        let horizon = start + window * (symbols as u64 + 3) + Cycles::new(200_000);
+        {
+            let mut actors: Vec<ActorRef<'_>> = vec![
+                (setup.spy.core, setup.spy.proc, &mut spy),
+                (setup.trojan.core, setup.trojan.proc, &mut trojan),
+            ];
+            run_actor_refs(&mut setup.machine, &mut actors, horizon)?;
+        }
+        let mut received = spy.decoded_bits();
+        received.truncate(bits.len());
+        let errors = BitErrors::compare(bits, &received);
+        let clock_hz = setup.machine.config().timing.clock_hz();
+        let elapsed = window * (symbols as u64 + 1);
+        let kbps = (bits.len() as f64 / 8.0) / elapsed.to_seconds(clock_hz) / 1000.0;
+        Ok(WideOutcome {
+            sent: bits.to_vec(),
+            received,
+            errors,
+            kbps,
+        })
+    }
+}
+
+/// The multi-lane trojan: per window, sweeps the eviction set of every lane
+/// whose bit is `1` (forward then backward, rotating starts).
+#[derive(Debug)]
+pub struct WideTrojanActor {
+    lane_sets: Vec<Vec<VirtAddr>>,
+    bits: Vec<bool>,
+    lanes: usize,
+    window: Cycles,
+    start: Cycles,
+    state: WtState,
+    rotation: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WtState {
+    WaitStart,
+    SymbolStart(usize),
+    /// (symbol, lane, phase 0=fwd 1=bwd, index)
+    Sweep(usize, usize, u8, usize),
+    WaitWindowEnd(usize),
+}
+
+impl WideTrojanActor {
+    /// Creates the multi-lane trojan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lane's eviction set is empty or `bits.len()` is not a
+    /// multiple of the lane count.
+    pub fn new(
+        lane_sets: Vec<Vec<VirtAddr>>,
+        bits: Vec<bool>,
+        lanes: usize,
+        window: Cycles,
+        start: Cycles,
+    ) -> Self {
+        assert!(lane_sets.iter().all(|s| !s.is_empty()), "empty lane set");
+        assert_eq!(lane_sets.len(), lanes, "lane count mismatch");
+        assert_eq!(bits.len() % lanes, 0, "bits must fill whole symbols");
+        WideTrojanActor {
+            lane_sets,
+            bits,
+            lanes,
+            window,
+            start,
+            state: WtState::WaitStart,
+            rotation: 0,
+        }
+    }
+
+    fn window_start(&self, i: usize) -> Cycles {
+        self.start + self.window * i as u64
+    }
+
+    fn bit(&self, symbol: usize, lane: usize) -> bool {
+        self.bits[symbol * self.lanes + lane]
+    }
+
+    /// First active lane at or after `lane` in `symbol`, if any.
+    fn next_active(&self, symbol: usize, lane: usize) -> Option<usize> {
+        (lane..self.lanes).find(|&l| self.bit(symbol, l))
+    }
+}
+
+impl Actor for WideTrojanActor {
+    fn step(&mut self, cpu: &mut CoreHandle<'_>) -> Result<StepOutcome, ModelError> {
+        match self.state {
+            WtState::WaitStart => {
+                cpu.busy_until(self.start);
+                self.state = WtState::SymbolStart(0);
+            }
+            WtState::SymbolStart(s) => {
+                if s * self.lanes >= self.bits.len() {
+                    return Ok(StepOutcome::Done);
+                }
+                match self.next_active(s, 0) {
+                    Some(lane) => self.state = WtState::Sweep(s, lane, 0, 0),
+                    None => {
+                        cpu.busy_until(self.window_start(s + 1));
+                        self.state = WtState::SymbolStart(s + 1);
+                    }
+                }
+            }
+            WtState::Sweep(s, lane, phase, j) => {
+                let set = &self.lane_sets[lane];
+                let n = set.len();
+                let idx = if phase == 0 {
+                    (self.rotation + j) % n
+                } else {
+                    (self.rotation + (n - 1 - j)) % n
+                };
+                let addr = set[idx];
+                cpu.read(addr)?;
+                cpu.clflush(addr)?;
+                if j + 1 < n {
+                    self.state = WtState::Sweep(s, lane, phase, j + 1);
+                } else if phase == 0 {
+                    cpu.mfence();
+                    self.state = WtState::Sweep(s, lane, 1, 0);
+                } else {
+                    // Lane done; next active lane or wait out the window.
+                    match self.next_active(s, lane + 1) {
+                        Some(next) => self.state = WtState::Sweep(s, next, 0, 0),
+                        None => {
+                            self.rotation = self.rotation.wrapping_add(1);
+                            self.state = WtState::WaitWindowEnd(s);
+                        }
+                    }
+                }
+            }
+            WtState::WaitWindowEnd(s) => {
+                cpu.busy_until(self.window_start(s + 1));
+                self.state = WtState::SymbolStart(s + 1);
+            }
+        }
+        Ok(StepOutcome::Running)
+    }
+}
+
+/// The multi-lane spy: probes every lane's monitor address in the guard
+/// slot before each boundary.
+#[derive(Debug)]
+pub struct WideSpyActor {
+    monitors: Vec<VirtAddr>,
+    window: Cycles,
+    start: Cycles,
+    guard: Cycles,
+    symbols: usize,
+    classifier: LatencyClassifier,
+    state: WsState,
+    t1: Cycles,
+    /// De-biased probe times, `monitors.len()` per probe round.
+    probe_times: Vec<Cycles>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WsState {
+    WaitWindow(usize),
+    /// (round, lane) — timer read done for this lane.
+    Probe(usize, usize),
+    Close(usize, usize),
+    Finished,
+}
+
+impl WideSpyActor {
+    /// Creates the multi-lane spy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `monitors` is empty.
+    pub fn new(
+        monitors: Vec<VirtAddr>,
+        window: Cycles,
+        start: Cycles,
+        symbols: usize,
+        classifier: LatencyClassifier,
+    ) -> Self {
+        assert!(!monitors.is_empty(), "at least one monitor required");
+        let guard = Cycles::new((monitors.len() as u64 * 800 + 400).min(window.raw() / 2));
+        WideSpyActor {
+            monitors,
+            window,
+            start,
+            guard,
+            symbols,
+            classifier,
+            state: WsState::WaitWindow(0),
+            t1: Cycles::ZERO,
+            probe_times: Vec::new(),
+        }
+    }
+
+    fn window_start(&self, i: usize) -> Cycles {
+        self.start + self.window * i as u64
+    }
+
+    /// Decoded flattened bits: probe round `r + 1` carries symbol `r`.
+    pub fn decoded_bits(&self) -> Vec<bool> {
+        let lanes = self.monitors.len();
+        self.probe_times
+            .iter()
+            .skip(lanes) // the prime round
+            .map(|&t| t >= self.classifier.threshold)
+            .collect()
+    }
+}
+
+impl Actor for WideSpyActor {
+    fn step(&mut self, cpu: &mut CoreHandle<'_>) -> Result<StepOutcome, ModelError> {
+        match self.state {
+            WsState::WaitWindow(r) => {
+                if r > self.symbols {
+                    self.state = WsState::Finished;
+                    return Ok(StepOutcome::Done);
+                }
+                cpu.busy_until(self.window_start(r).saturating_sub(self.guard));
+                self.t1 = cpu.timer_read();
+                self.state = WsState::Probe(r, 0);
+            }
+            WsState::Probe(r, lane) => {
+                cpu.read(self.monitors[lane])?;
+                self.state = WsState::Close(r, lane);
+            }
+            WsState::Close(r, lane) => {
+                let t2 = cpu.timer_read();
+                cpu.clflush(self.monitors[lane])?;
+                self.probe_times
+                    .push(self.classifier.debias(t2.saturating_sub(self.t1)));
+                if lane + 1 < self.monitors.len() {
+                    self.t1 = cpu.timer_read();
+                    self.state = WsState::Probe(r, lane + 1);
+                } else {
+                    self.state = WsState::WaitWindow(r + 1);
+                }
+            }
+            WsState::Finished => return Ok(StepOutcome::Done),
+        }
+        Ok(StepOutcome::Running)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::message::random_bits;
+
+    #[test]
+    fn lane_sets_occupy_distinct_mee_sets() {
+        let mut setup = AttackSetup::quiet(501).unwrap();
+        let wide = WideSession::establish(&mut setup, &ChannelConfig::default(), 3).unwrap();
+        let geo = *setup.machine.mee().geometry();
+        let sets = setup.machine.mee().cache().config().sets;
+        let set_of = |proc, va| {
+            let pa = setup.machine.translate(proc, va).unwrap();
+            geo.version_line(geo.walk_path(pa.line()).version)
+                .set_index(sets)
+        };
+        let lane_sets: Vec<usize> = wide
+            .lanes
+            .iter()
+            .map(|l| set_of(setup.spy.proc, l.monitor))
+            .collect();
+        for i in 0..lane_sets.len() {
+            for j in i + 1..lane_sets.len() {
+                assert_ne!(lane_sets[i], lane_sets[j], "lanes {i}/{j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn two_lane_channel_is_error_free_quiet() {
+        let mut setup = AttackSetup::quiet(502).unwrap();
+        let wide = WideSession::establish(&mut setup, &ChannelConfig::default(), 2).unwrap();
+        let bits = random_bits(64, 502);
+        let out = wide.transmit(&mut setup, &bits).unwrap();
+        assert_eq!(out.received, bits);
+    }
+
+    #[test]
+    fn wide_channel_beats_single_lane_throughput() {
+        let mut setup = AttackSetup::quiet(503).unwrap();
+        let single = WideSession::establish(&mut setup, &ChannelConfig::default(), 1).unwrap();
+        let bits = random_bits(48, 503);
+        let single_out = single.transmit(&mut setup, &bits).unwrap();
+
+        let mut setup2 = AttackSetup::quiet(503).unwrap();
+        let wide = WideSession::establish(&mut setup2, &ChannelConfig::default(), 4).unwrap();
+        let wide_out = wide.transmit(&mut setup2, &bits).unwrap();
+
+        assert_eq!(wide_out.received, bits, "wide channel corrupted data");
+        assert!(
+            wide_out.kbps > single_out.kbps * 1.2,
+            "wide {} KBps vs single {} KBps",
+            wide_out.kbps,
+            single_out.kbps
+        );
+    }
+
+    #[test]
+    fn lane_count_bounds_enforced() {
+        let mut setup = AttackSetup::quiet(504).unwrap();
+        assert!(WideSession::establish(&mut setup, &ChannelConfig::default(), 0).is_err());
+        assert!(WideSession::establish(&mut setup, &ChannelConfig::default(), 9).is_err());
+    }
+}

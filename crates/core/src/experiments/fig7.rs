@@ -1,0 +1,140 @@
+//! Figure 7: bit rate vs error rate as the timing window varies.
+
+use std::fmt;
+
+use mee_types::{Cycles, ModelError};
+
+use crate::channel::{random_bits, ChannelConfig, Session};
+use crate::report;
+use crate::setup::AttackSetup;
+
+/// The paper's window sweep.
+pub const PAPER_WINDOWS: [u64; 7] = [5_000, 7_500, 10_000, 15_000, 20_000, 25_000, 30_000];
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowPoint {
+    /// Window size in cycles.
+    pub window: u64,
+    /// Raw channel rate in KBps (clock / window / 8).
+    pub kbps: f64,
+    /// Measured bit error rate.
+    pub error_rate: f64,
+}
+
+/// Figure-7 output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Result {
+    /// One point per window size.
+    pub points: Vec<WindowPoint>,
+    /// Bits transmitted per point.
+    pub bits: usize,
+}
+
+impl Fig7Result {
+    /// The operating point with the lowest error rate (the paper: 15000
+    /// cycles at 1.7%).
+    pub fn best(&self) -> Option<WindowPoint> {
+        self.points
+            .iter()
+            .copied()
+            .min_by(|a, b| a.error_rate.total_cmp(&b.error_rate))
+    }
+}
+
+/// Runs the sweep: a fresh machine and session per window size (the paper
+/// re-ran its channel per configuration), transmitting `bits` random bits.
+///
+/// # Errors
+///
+/// Propagates machine and setup errors.
+pub fn run_fig7(seed: u64, bits: usize, windows: &[u64]) -> Result<Fig7Result, ModelError> {
+    let mut points = Vec::with_capacity(windows.len());
+    for (i, &window) in windows.iter().enumerate() {
+        let mut setup = AttackSetup::new(seed.wrapping_add(i as u64))?;
+        let cfg = ChannelConfig {
+            window: Cycles::new(window),
+            ..ChannelConfig::default()
+        };
+        let session = Session::establish(&mut setup, &cfg)?;
+        let payload = random_bits(bits, seed.wrapping_add(1000 + i as u64));
+        let out = session.transmit(&mut setup, &payload)?;
+        points.push(WindowPoint {
+            window,
+            kbps: setup
+                .machine
+                .config()
+                .timing
+                .window_to_kbps(Cycles::new(window)),
+            error_rate: out.error_rate(),
+        });
+    }
+    Ok(Fig7Result { points, bits })
+}
+
+impl fmt::Display for Fig7Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 7 — bit rate vs error rate over timing window size \
+             ({} random bits per point)",
+            self.bits
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.window.to_string(),
+                    format!("{:.1}", p.kbps),
+                    report::pct(p.error_rate),
+                ]
+            })
+            .collect();
+        f.write_str(&report::table(
+            &["window (cycles)", "bit rate (KBps)", "error rate"],
+            &rows,
+        ))?;
+        if let Some(best) = self.best() {
+            writeln!(
+                f,
+                "best operating point: {} cycles → {:.1} KBps at {} error \
+                 (paper: 15000 cycles → 35 KBps at 1.7%)",
+                best.window,
+                best.kbps,
+                report::pct(best.error_rate)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_tradeoff_shape() {
+        // Scaled down: fewer windows/bits to keep the test quick.
+        let r = run_fig7(104, 256, &[7_500, 15_000, 30_000]).unwrap();
+        let at = |w: u64| r.points.iter().find(|p| p.window == w).copied().unwrap();
+        // Bit rate decreases with window size.
+        assert!(at(7_500).kbps > at(15_000).kbps);
+        assert!(at(15_000).kbps > at(30_000).kbps);
+        // The error cliff below the ~9000-cycle cost of sending a '1'.
+        assert!(
+            at(7_500).error_rate > 0.15,
+            "7500-cycle window should break: {}",
+            at(7_500).error_rate
+        );
+        assert!(
+            at(15_000).error_rate < 0.08,
+            "15000-cycle window should work: {}",
+            at(15_000).error_rate
+        );
+        // 15000 beats 30000 on error (or ties) — the paper's sweet spot.
+        assert!(at(15_000).error_rate <= at(30_000).error_rate + 0.02);
+        // Headline bit rate at 15000 cycles ≈ 35 KBps.
+        assert!((34.0..=36.0).contains(&at(15_000).kbps));
+    }
+}

@@ -1,0 +1,25 @@
+//! Reverse engineering the MEE cache (paper §4).
+//!
+//! The MEE cache organization is not public, so the paper infers it from
+//! timing alone:
+//!
+//! * [`capacity`] — grow a 4 KiB-stride candidate address set until
+//!   accessing all of it reliably evicts some versions line (Figure 4);
+//!   the saturation point gives the capacity (64 candidates × 16 lines ×
+//!   64 B = 64 KiB).
+//! * [`eviction`] — Algorithm 1: build an *index address set*, find a test
+//!   address it evicts, then peel addresses off one at a time to isolate the
+//!   *eviction address set*, whose size is the associativity (8).
+//! * [`latency`] — the stride census behind Figure 5's latency histogram.
+//! * [`profile`] — the whole pipeline end-to-end, against *unknown*
+//!   geometries.
+
+pub mod capacity;
+pub mod eviction;
+pub mod latency;
+pub mod profile;
+
+pub use capacity::{run_capacity_experiment, CapacityResult};
+pub use eviction::{eviction_test, find_eviction_set, EvictionSetResult};
+pub use latency::{run_latency_census, LatencyCensus, LatencySample};
+pub use profile::{profile_mee_cache, MeeProfile};

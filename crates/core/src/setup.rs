@@ -1,0 +1,270 @@
+//! Attack scaffolding: the machine plus the trojan and spy tenants.
+//!
+//! The threat model (paper §2.3): a multi-core SGX machine shared by
+//! multiple tenants; the trojan and the spy run in *separate enclaves on
+//! different physical cores*, with no shared memory, no hugepages, and no
+//! OS cooperation. [`AttackSetup`] builds exactly that arrangement.
+
+use mee_machine::{CoreHandle, CoreId, Machine, MachineConfig, ProcId};
+use mee_mem::AddressSpaceKind;
+use mee_types::{ModelError, VirtAddr, PAGE_SIZE, VERSION_BLOCK_SIZE};
+
+/// One tenant: an enclave bound to a core, with a mapped scratch region.
+#[derive(Debug, Clone, Copy)]
+pub struct Tenant {
+    /// The tenant's enclave process.
+    pub proc: ProcId,
+    /// The physical core the tenant's attack thread runs on.
+    pub core: CoreId,
+    /// Base of the tenant's mapped region.
+    pub base: VirtAddr,
+    /// Pages mapped at `base`.
+    pub pages: usize,
+}
+
+impl Tenant {
+    /// The `i`-th candidate address: 4 KiB stride from `base`, displaced to
+    /// the agreed 512 B unit `offset` within the page (the paper's "same
+    /// index in consecutive versions data region", §5.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= pages` or `offset >= 8`.
+    pub fn candidate(&self, i: usize, offset: usize) -> VirtAddr {
+        assert!(i < self.pages, "candidate index {i} beyond mapped region");
+        assert!(
+            offset < PAGE_SIZE / VERSION_BLOCK_SIZE,
+            "offset must select one of the 8 version blocks of a page"
+        );
+        self.base + (i * PAGE_SIZE + offset * VERSION_BLOCK_SIZE) as u64
+    }
+
+    /// All candidate addresses for the given offset.
+    pub fn candidates(&self, count: usize, offset: usize) -> Vec<VirtAddr> {
+        (0..count).map(|i| self.candidate(i, offset)).collect()
+    }
+}
+
+/// The machine with the trojan and spy enclaves installed.
+///
+/// Core assignment: spy on core 0, trojan on core 1, leaving cores 2..N for
+/// noise programs (paper §5.4 uses a third core for its noisy environments).
+#[derive(Debug)]
+pub struct AttackSetup {
+    /// The simulated machine.
+    pub machine: Machine,
+    /// The receiving tenant.
+    pub spy: Tenant,
+    /// The sending tenant.
+    pub trojan: Tenant,
+    /// Virtual-address cursor for scratch allocations.
+    scratch_cursor: u64,
+}
+
+/// Pages pre-mapped for each tenant — enough for Algorithm 1's candidate
+/// sets (≥ 64 candidates guarantee an eviction set, §4.2) with headroom.
+const TENANT_PAGES: usize = 192;
+
+/// Virtual bases, arbitrary but page-aligned and far apart.
+const SPY_BASE: u64 = 0x0100_0000;
+const TROJAN_BASE: u64 = 0x0200_0000;
+const SCRATCH_BASE: u64 = 0x1000_0000;
+
+impl AttackSetup {
+    /// Builds the attack arrangement on a machine configured by `cfg`, with
+    /// every RNG in the system derived from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and allocation errors.
+    pub fn with_config(mut cfg: MachineConfig, seed: u64) -> Result<Self, ModelError> {
+        cfg.alloc_seed = seed.wrapping_mul(0x9e37_79b9).wrapping_add(1);
+        cfg.stall_seed = seed.wrapping_mul(0x85eb_ca6b).wrapping_add(2);
+        cfg.dram.seed = seed.wrapping_mul(0xc2b2_ae35).wrapping_add(3);
+        if cfg.cores < 2 {
+            return Err(ModelError::InvalidConfig {
+                reason: "the attack needs at least two cores".into(),
+            });
+        }
+        let mut machine = Machine::new(cfg)?;
+        let spy_proc = machine.create_process(AddressSpaceKind::Enclave);
+        let trojan_proc = machine.create_process(AddressSpaceKind::Enclave);
+        let spy = Tenant {
+            proc: spy_proc,
+            core: CoreId::new(0),
+            base: VirtAddr::new(SPY_BASE),
+            pages: TENANT_PAGES,
+        };
+        let trojan = Tenant {
+            proc: trojan_proc,
+            core: CoreId::new(1),
+            base: VirtAddr::new(TROJAN_BASE),
+            pages: TENANT_PAGES,
+        };
+        machine.map_pages(spy.proc, spy.base, spy.pages)?;
+        machine.map_pages(trojan.proc, trojan.base, trojan.pages)?;
+        Ok(AttackSetup {
+            machine,
+            spy,
+            trojan,
+            scratch_cursor: SCRATCH_BASE,
+        })
+    }
+
+    /// The default machine with all noise sources enabled (the evaluation
+    /// configuration).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and allocation errors.
+    pub fn new(seed: u64) -> Result<Self, ModelError> {
+        Self::with_config(MachineConfig::default(), seed)
+    }
+
+    /// The default machine with all noise disabled (for white-box tests and
+    /// clean calibration).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and allocation errors.
+    pub fn quiet(seed: u64) -> Result<Self, ModelError> {
+        Self::with_config(MachineConfig::default().without_noise(), seed)
+    }
+
+    /// A handle driving the spy's thread.
+    pub fn spy_handle(&mut self) -> CoreHandle<'_> {
+        CoreHandle::new(&mut self.machine, self.spy.core, self.spy.proc)
+    }
+
+    /// A handle driving the trojan's thread.
+    pub fn trojan_handle(&mut self) -> CoreHandle<'_> {
+        CoreHandle::new(&mut self.machine, self.trojan.core, self.trojan.proc)
+    }
+
+    /// Aligns the spy's and trojan's core clocks to the later of the two.
+    ///
+    /// Setup handshakes drive the two cores *sequentially* through machine
+    /// handles; without re-alignment their clocks drift apart and shared-
+    /// resource timing (MEE pipeline occupancy) would be computed across
+    /// nonsensical time gaps. During real transmissions the scheduler keeps
+    /// clocks naturally aligned.
+    pub fn sync_clocks(&mut self) {
+        let t = self
+            .machine
+            .core_now(self.spy.core)
+            .max(self.machine.core_now(self.trojan.core));
+        self.machine.busy_until(self.spy.core, t);
+        self.machine.busy_until(self.trojan.core, t);
+    }
+
+    /// Maps `count` fresh enclave pages for `tenant` at a new virtual range
+    /// and returns their base. Pair with [`Self::release_scratch`] to
+    /// recycle the physical frames (the Figure-4 experiment burns through
+    /// many candidate sets).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors.
+    pub fn scratch_pages(&mut self, proc: ProcId, count: usize) -> Result<VirtAddr, ModelError> {
+        let base = VirtAddr::new(self.scratch_cursor);
+        self.scratch_cursor += (count * PAGE_SIZE) as u64;
+        self.machine.map_pages(proc, base, count)?;
+        Ok(base)
+    }
+
+    /// Maps `count` fresh enclave pages at a caller-chosen virtual base
+    /// (used by the stride census, which needs sparse page placement in VA
+    /// space). Advances the scratch cursor past the range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and mapping errors.
+    pub fn scratch_pages_at(
+        &mut self,
+        proc: ProcId,
+        base: VirtAddr,
+        count: usize,
+    ) -> Result<VirtAddr, ModelError> {
+        let end = base.raw() + (count * PAGE_SIZE) as u64;
+        if end > self.scratch_cursor {
+            self.scratch_cursor = end;
+        }
+        self.machine.map_pages(proc, base, count)?;
+        Ok(base)
+    }
+
+    /// Unmaps a scratch range mapped by [`Self::scratch_pages`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates unmapping errors.
+    pub fn release_scratch(
+        &mut self,
+        proc: ProcId,
+        base: VirtAddr,
+        count: usize,
+    ) -> Result<(), ModelError> {
+        self.machine.unmap_pages(proc, base, count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenants_are_isolated_enclaves_on_distinct_cores() {
+        let setup = AttackSetup::quiet(1).unwrap();
+        assert_ne!(setup.spy.core, setup.trojan.core);
+        assert_ne!(setup.spy.proc, setup.trojan.proc);
+        assert!(setup.machine.is_enclave(setup.spy.proc));
+        assert!(setup.machine.is_enclave(setup.trojan.proc));
+    }
+
+    #[test]
+    fn candidates_follow_4k_stride_with_offset() {
+        let setup = AttackSetup::quiet(2).unwrap();
+        let c0 = setup.trojan.candidate(0, 3);
+        let c1 = setup.trojan.candidate(1, 3);
+        assert_eq!(c1 - c0, PAGE_SIZE as u64);
+        assert_eq!(c0.page_offset(), 3 * VERSION_BLOCK_SIZE as u64);
+        let all = setup.trojan.candidates(5, 0);
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[4] - all[0], 4 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond mapped region")]
+    fn candidate_bounds_checked() {
+        let setup = AttackSetup::quiet(3).unwrap();
+        let _ = setup.trojan.candidate(TENANT_PAGES, 0);
+    }
+
+    #[test]
+    fn scratch_pages_recycle_frames() {
+        let mut setup = AttackSetup::quiet(4).unwrap();
+        let proc = setup.trojan.proc;
+        // Burn through far more pages than the PRM holds; recycling must
+        // make this work.
+        for _ in 0..40 {
+            let base = setup.scratch_pages(proc, 128).unwrap();
+            setup.release_scratch(proc, base, 128).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_core_machine_rejected() {
+        let mut cfg = MachineConfig::small();
+        cfg.cores = 1;
+        assert!(AttackSetup::with_config(cfg, 0).is_err());
+    }
+
+    #[test]
+    fn different_seeds_give_different_physical_placement() {
+        let a = AttackSetup::quiet(10).unwrap();
+        let b = AttackSetup::quiet(11).unwrap();
+        let pa = a.machine.translate(a.trojan.proc, a.trojan.base).unwrap();
+        let pb = b.machine.translate(b.trojan.proc, b.trojan.base).unwrap();
+        assert_ne!(pa, pb, "placement should depend on the seed");
+    }
+}

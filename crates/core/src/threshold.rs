@@ -1,0 +1,164 @@
+//! Latency classification: versions hit vs versions miss.
+//!
+//! The entire channel decodes one bit from one latency sample, so the
+//! threshold between the "≈480 cycle" versions-hit cluster and the
+//! "≈750 cycle" miss cluster (§5.4) is the decoder. [`LatencyClassifier`]
+//! carries that threshold plus the measurement bias of the timing primitive
+//! in use (the hyperthread timer mailbox costs ~50 cycles per read).
+
+use mee_machine::CoreHandle;
+use mee_types::{Cycles, ModelError, TimingConfig, VirtAddr};
+
+/// Classifies protected-access latencies into versions hit / miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyClassifier {
+    /// Latencies strictly below this are versions hits.
+    pub threshold: Cycles,
+    /// Fixed measurement overhead subtracted from raw timed samples (e.g.
+    /// one timer-mailbox read bracketing the access).
+    pub bias: Cycles,
+}
+
+impl LatencyClassifier {
+    /// Builds the classifier from the machine's nominal timing, with no
+    /// measurement bias (for samples that are true latencies).
+    pub fn from_timing(t: &TimingConfig) -> Self {
+        LatencyClassifier {
+            threshold: t.versions_threshold(),
+            bias: Cycles::ZERO,
+        }
+    }
+
+    /// Builds the classifier for samples measured by bracketing the access
+    /// between two timer-mailbox reads: the raw sample then includes one
+    /// mailbox-read cost.
+    pub fn for_timer_probes(t: &TimingConfig) -> Self {
+        LatencyClassifier {
+            threshold: t.versions_threshold(),
+            bias: t.timer_read,
+        }
+    }
+
+    /// Removes the measurement bias from a raw sample.
+    pub fn debias(&self, raw: Cycles) -> Cycles {
+        raw.saturating_sub(self.bias)
+    }
+
+    /// Whether a raw sample is a versions hit.
+    pub fn is_versions_hit(&self, raw: Cycles) -> bool {
+        self.debias(raw) < self.threshold
+    }
+
+    /// Whether a raw sample is a versions miss (the signal for a `1`).
+    pub fn is_versions_miss(&self, raw: Cycles) -> bool {
+        !self.is_versions_hit(raw)
+    }
+
+    /// Calibrates a classifier empirically, the way a real attacker must:
+    /// samples the versions-hit cluster by repeatedly accessing and flushing
+    /// one address (after the cold access, every re-access is a versions
+    /// hit), samples the deep-miss cluster by touching addresses 256 KiB
+    /// apart (fresh subtrees), and places the threshold 40% of the way up
+    /// the gap — below the L0-hit latency that a trojan eviction produces.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors from the probing accesses.
+    pub fn calibrate(
+        cpu: &mut CoreHandle<'_>,
+        probe: VirtAddr,
+        deep: &[VirtAddr],
+        samples: usize,
+    ) -> Result<Self, ModelError> {
+        assert!(samples >= 4, "calibration needs at least 4 samples");
+        // Warm: ensure the versions line is resident.
+        cpu.read(probe)?;
+        cpu.clflush(probe)?;
+        let mut hit_total = 0u64;
+        for _ in 0..samples {
+            let lat = cpu.read(probe)?;
+            cpu.clflush(probe)?;
+            hit_total += lat.raw();
+        }
+        let hit_mean = hit_total / samples as u64;
+
+        let mut deep_total = 0u64;
+        let mut deep_count = 0u64;
+        for &addr in deep.iter().take(samples) {
+            let lat = cpu.read(addr)?;
+            cpu.clflush(addr)?;
+            deep_total += lat.raw();
+            deep_count += 1;
+        }
+        if deep_count == 0 {
+            return Err(ModelError::InvalidConfig {
+                reason: "calibration needs at least one deep-miss address".into(),
+            });
+        }
+        let deep_mean = deep_total / deep_count;
+        if deep_mean <= hit_mean {
+            return Err(ModelError::InvalidConfig {
+                reason: format!(
+                    "calibration found no latency gap (hit {hit_mean}, deep {deep_mean})"
+                ),
+            });
+        }
+        let threshold = hit_mean + (deep_mean - hit_mean) * 2 / 5;
+        Ok(LatencyClassifier {
+            threshold: Cycles::new(threshold),
+            bias: Cycles::ZERO,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::AttackSetup;
+
+    #[test]
+    fn nominal_classifier_separates_clusters() {
+        let t = TimingConfig::default();
+        let c = LatencyClassifier::from_timing(&t);
+        assert!(c.is_versions_hit(t.protected_hit_latency(0)));
+        assert!(c.is_versions_miss(t.protected_hit_latency(1)));
+        assert!(c.is_versions_miss(t.protected_root_latency()));
+    }
+
+    #[test]
+    fn timer_classifier_debiases() {
+        let t = TimingConfig::default();
+        let c = LatencyClassifier::for_timer_probes(&t);
+        let hit_raw = t.protected_hit_latency(0) + t.timer_read;
+        let miss_raw = t.protected_hit_latency(1) + t.timer_read;
+        assert!(c.is_versions_hit(hit_raw));
+        assert!(c.is_versions_miss(miss_raw));
+        assert_eq!(c.debias(hit_raw), t.protected_hit_latency(0));
+    }
+
+    #[test]
+    fn empirical_calibration_matches_nominal() {
+        let mut setup = AttackSetup::quiet(5).unwrap();
+        let probe = setup.spy.candidate(0, 0);
+        // Deep misses: 256 KiB apart in VA; physical scatter makes them
+        // touch fresh subtrees.
+        let deep: Vec<VirtAddr> = (1..9).map(|i| setup.spy.candidate(i * 16, 0)).collect();
+        let nominal = LatencyClassifier::from_timing(&setup.machine.config().timing);
+        let mut cpu = setup.spy_handle();
+        let cal = LatencyClassifier::calibrate(&mut cpu, probe, &deep, 8).unwrap();
+        let diff = cal.threshold.raw() as i64 - nominal.threshold.raw() as i64;
+        assert!(diff.abs() < 120, "calibrated {} vs nominal {}", cal.threshold, nominal.threshold);
+        // And the calibrated threshold still separates the clusters.
+        let t = &setup.machine.config().timing;
+        assert!(cal.is_versions_hit(t.protected_hit_latency(0)));
+        assert!(cal.is_versions_miss(t.protected_hit_latency(1)));
+    }
+
+    #[test]
+    fn calibration_rejects_missing_deep_addresses() {
+        let mut setup = AttackSetup::quiet(6).unwrap();
+        let probe = setup.spy.candidate(0, 0);
+        let mut cpu = setup.spy_handle();
+        assert!(LatencyClassifier::calibrate(&mut cpu, probe, &[], 8).is_err());
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+//! The Memory Encryption Engine (MEE).
+//!
+//! The MEE sits in the memory controller (paper Figure 1). Every DRAM access
+//! that targets the protected data region is intercepted: the data line is
+//! decrypted and its integrity verified against the counter tree, walking
+//! *bottom-up from the versions level* and stopping at the first tree line
+//! that hits in the **MEE cache** — a 64 KiB, 8-way, 128-set cache shared by
+//! all cores (the paper's reverse-engineered organization, which is the
+//! default here but fully configurable so the reverse-engineering
+//! experiments have something real to discover).
+//!
+//! Timing model (all constants in [`mee_types::TimingConfig`]):
+//!
+//! * every protected access pays `mee_crypto` (AES-CTR decrypt + MAC check,
+//!   pipelined with the data fetch);
+//! * a versions-level MEE-cache **hit** adds nothing — this is the fast
+//!   "≈480 cycle" case of §5.4;
+//! * a versions **miss** adds a serial DRAM fetch of the versions line plus
+//!   `walk_step` — the "≈750 cycle" case;
+//! * each further level the walk climbs adds `upper_level_fetch` (those
+//!   fetches overlap the previous ones in the real pipeline);
+//! * missing L2 as well adds `root_check` for the on-die root comparison.
+//!
+//! The `PD_Tag` metadata line is touched on every versions-level operation
+//! and occupies (even-indexed) MEE-cache sets, but its fetch is fully
+//! overlapped with the data-line fetch and exposes no extra latency.
+//!
+//! # Example
+//!
+//! ```
+//! use mee_cache::{CacheConfig, policy::TreePlru};
+//! use mee_engine::{HitLevel, Mee};
+//! use mee_mem::{DramConfig, DramModel, PhysLayout};
+//! use mee_tree::TreeGeometry;
+//! use mee_types::TimingConfig;
+//!
+//! # fn main() -> Result<(), mee_types::ModelError> {
+//! let layout = PhysLayout::new(1 << 20, 4 << 20)?;
+//! let geo = TreeGeometry::new(layout.prm_data(), layout.prm_tree())?;
+//! let mut dram = DramModel::new(DramConfig::default())?;
+//! let mut mee = Mee::new(
+//!     geo,
+//!     0x5eed,
+//!     CacheConfig::from_capacity(64 * 1024, 8, 64)?,
+//!     Box::new(TreePlru::new()),
+//!     TimingConfig::default(),
+//! );
+//!
+//! let line = layout.prm_data().base().line();
+//! let cold = mee.read(line, mee_types::Cycles::new(1_000), &mut dram)?;
+//! let warm = mee.read(line, mee_types::Cycles::new(500_000), &mut dram)?;
+//! assert_eq!(warm.access.hit_level, HitLevel::Versions);
+//! assert!(warm.access.latency < cold.access.latency);
+//! # Ok(())
+//! # }
+//! ```
+
+mod engine;
+
+pub use engine::{HitLevel, Mee, MeeAccess, MeeRead, MeeStats};

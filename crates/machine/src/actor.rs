@@ -1,0 +1,429 @@
+//! Actors and the deterministic scheduler.
+//!
+//! The trojan, the spy, and the noise programs each run on their own core.
+//! Concurrency is modeled as a discrete-event interleaving: at every turn,
+//! the runnable actor whose core clock is furthest behind executes one step.
+//! Because all shared state (LLC, MEE cache, DRAM banks) is touched in
+//! global clock order, the interleaving is deterministic for a given seed —
+//! every experiment in the paper can be replayed exactly.
+//!
+//! Actors should keep steps *small* (a handful of instructions): a step
+//! executes atomically, so a step that issued thousands of instructions
+//! could observe or mutate shared state out of clock order with respect to
+//! other cores.
+
+use mee_types::{Cycles, ModelError, VirtAddr};
+
+use crate::machine::{CoreId, Machine, ProcId};
+
+/// What an actor's step reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The actor has more work; schedule it again.
+    Running,
+    /// The actor finished; do not step it again.
+    Done,
+}
+
+/// A program running on one core of the simulated machine.
+pub trait Actor {
+    /// Executes a small batch of instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ModelError`] raised by the instructions issued.
+    fn step(&mut self, cpu: &mut CoreHandle<'_>) -> Result<StepOutcome, ModelError>;
+}
+
+/// An actor bound to a core and a process.
+pub struct ActorBinding {
+    /// The core the actor runs on (one actor per core).
+    pub core: CoreId,
+    /// The process providing the actor's address space.
+    pub proc: ProcId,
+    /// The actor itself.
+    pub actor: Box<dyn Actor>,
+}
+
+impl std::fmt::Debug for ActorBinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActorBinding")
+            .field("core", &self.core)
+            .field("proc", &self.proc)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An actor's view of its core: every instruction primitive, bound to the
+/// actor's core and process.
+pub struct CoreHandle<'m> {
+    machine: &'m mut Machine,
+    core: CoreId,
+    proc: ProcId,
+}
+
+impl<'m> CoreHandle<'m> {
+    /// Creates a handle (normally done by the scheduler or
+    /// [`Machine`]-driving test code).
+    pub fn new(machine: &'m mut Machine, core: CoreId, proc: ProcId) -> Self {
+        CoreHandle {
+            machine,
+            core,
+            proc,
+        }
+    }
+
+    /// The bound core.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// The bound process.
+    pub fn proc(&self) -> ProcId {
+        self.proc
+    }
+
+    /// The core's local clock (harness bookkeeping; in-character code should
+    /// use [`Self::timer_read`] or [`Self::rdtsc`]).
+    pub fn now(&self) -> Cycles {
+        self.machine.core_now(self.core)
+    }
+
+    /// Read-only access to the whole machine (assertions in tests).
+    pub fn machine(&self) -> &Machine {
+        self.machine
+    }
+
+    /// Loads `va`; returns elapsed cycles. See [`Machine::read`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn read(&mut self, va: VirtAddr) -> Result<Cycles, ModelError> {
+        self.machine.read(self.core, self.proc, va)
+    }
+
+    /// Stores to `va`. See [`Machine::write`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn write(&mut self, va: VirtAddr, digest: u64) -> Result<Cycles, ModelError> {
+        self.machine.write(self.core, self.proc, va, digest)
+    }
+
+    /// Flushes `va` from the on-chip hierarchy. See [`Machine::clflush`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn clflush(&mut self, va: VirtAddr) -> Result<Cycles, ModelError> {
+        self.machine.clflush(self.core, self.proc, va)
+    }
+
+    /// Serializing fence.
+    pub fn mfence(&mut self) -> Cycles {
+        self.machine.mfence(self.core)
+    }
+
+    /// `rdtsc` — faults in enclave mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::IllegalInEnclave`] from enclave processes.
+    pub fn rdtsc(&mut self) -> Result<Cycles, ModelError> {
+        self.machine.rdtsc(self.core, self.proc)
+    }
+
+    /// Reads the hyperthread timer mailbox (legal everywhere, ~50 cycles,
+    /// quantized).
+    pub fn timer_read(&mut self) -> Cycles {
+        self.machine.timer_read(self.core)
+    }
+
+    /// Timestamp via OCALL (8000–15000 cycles).
+    pub fn ocall_rdtsc(&mut self) -> Cycles {
+        self.machine.ocall_rdtsc(self.core)
+    }
+
+    /// Spins until the local clock reaches `deadline`.
+    pub fn busy_until(&mut self, deadline: Cycles) {
+        self.machine.busy_until(self.core, deadline);
+    }
+
+    /// Burns `cycles` of computation.
+    pub fn advance(&mut self, cycles: Cycles) -> Cycles {
+        self.machine.advance(self.core, cycles)
+    }
+}
+
+/// Runs `bindings` concurrently until every actor is done or every runnable
+/// actor's core clock has reached `horizon`.
+///
+/// # Errors
+///
+/// * Propagates the first [`ModelError`] raised by any actor.
+/// * Returns [`ModelError::NoSuchCore`] / [`ModelError::InvalidConfig`] for
+///   invalid bindings (out-of-range core, two actors on one core) or for an
+///   actor that stops advancing its clock (deadlock guard).
+pub fn run_actors(
+    machine: &mut Machine,
+    bindings: &mut [ActorBinding],
+    horizon: Cycles,
+) -> Result<(), ModelError> {
+    let mut refs: Vec<ActorRef<'_>> = bindings
+        .iter_mut()
+        .map(|b| (b.core, b.proc, b.actor.as_mut()))
+        .collect();
+    run_actor_refs(machine, &mut refs, horizon)
+}
+
+/// A borrowed actor with its core/process binding, as consumed by
+/// [`run_actor_refs`].
+pub type ActorRef<'a> = (CoreId, ProcId, &'a mut (dyn Actor + 'static));
+
+/// Like [`run_actors`] but borrowing the actors, so callers keep ownership
+/// of concrete actor types and can inspect their results after the run.
+///
+/// # Errors
+///
+/// Same conditions as [`run_actors`].
+pub fn run_actor_refs(
+    machine: &mut Machine,
+    actors: &mut [ActorRef<'_>],
+    horizon: Cycles,
+) -> Result<(), ModelError> {
+    // Validate bindings.
+    let mut seen = vec![false; machine.core_count()];
+    for (core, _, _) in actors.iter() {
+        let idx = core.index();
+        if idx >= machine.core_count() {
+            return Err(ModelError::NoSuchCore { core: idx });
+        }
+        if seen[idx] {
+            return Err(ModelError::InvalidConfig {
+                reason: format!("two actors bound to {core}"),
+            });
+        }
+        seen[idx] = true;
+    }
+
+    let mut done = vec![false; actors.len()];
+    let mut stuck_count = vec![0u32; actors.len()];
+    const STUCK_LIMIT: u32 = 100_000;
+
+    loop {
+        // Pick the runnable actor with the smallest core clock.
+        let next = actors
+            .iter()
+            .enumerate()
+            .filter(|(i, (core, _, _))| !done[*i] && machine.core_now(*core) < horizon)
+            .min_by_key(|(_, (core, _, _))| machine.core_now(*core))
+            .map(|(i, _)| i);
+        let Some(i) = next else {
+            return Ok(());
+        };
+
+        let core = actors[i].0;
+        let before = machine.core_now(core);
+        let outcome = {
+            let (core, proc, actor) = &mut actors[i];
+            let mut cpu = CoreHandle::new(machine, *core, *proc);
+            actor.step(&mut cpu)?
+        };
+        if outcome == StepOutcome::Done {
+            done[i] = true;
+        } else if machine.core_now(core) == before {
+            stuck_count[i] += 1;
+            if stuck_count[i] > STUCK_LIMIT {
+                return Err(ModelError::InvalidConfig {
+                    reason: format!(
+                        "actor on {core} made {STUCK_LIMIT} steps without advancing its clock"
+                    ),
+                });
+            }
+        } else {
+            stuck_count[i] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use mee_mem::AddressSpaceKind;
+    use mee_types::PAGE_SIZE;
+
+    /// Reads a fixed page `n` times, recording latencies.
+    struct Reader {
+        base: VirtAddr,
+        remaining: usize,
+        latencies: Vec<Cycles>,
+    }
+
+    impl Actor for Reader {
+        fn step(&mut self, cpu: &mut CoreHandle<'_>) -> Result<StepOutcome, ModelError> {
+            if self.remaining == 0 {
+                return Ok(StepOutcome::Done);
+            }
+            self.remaining -= 1;
+            let lat = cpu.read(self.base)?;
+            self.latencies.push(lat);
+            Ok(StepOutcome::Running)
+        }
+    }
+
+    /// Burns time forever (horizon-bounded).
+    struct Spinner;
+
+    impl Actor for Spinner {
+        fn step(&mut self, cpu: &mut CoreHandle<'_>) -> Result<StepOutcome, ModelError> {
+            cpu.advance(Cycles::new(100));
+            Ok(StepOutcome::Running)
+        }
+    }
+
+    /// Never advances the clock: must trip the deadlock guard.
+    struct Stuck;
+
+    impl Actor for Stuck {
+        fn step(&mut self, _cpu: &mut CoreHandle<'_>) -> Result<StepOutcome, ModelError> {
+            Ok(StepOutcome::Running)
+        }
+    }
+
+    fn setup() -> (Machine, ProcId, VirtAddr) {
+        let mut m = Machine::new(MachineConfig::small()).unwrap();
+        let p = m.create_process(AddressSpaceKind::Enclave);
+        let base = VirtAddr::new(0x40_0000);
+        m.map_pages(p, base, 2).unwrap();
+        (m, p, base)
+    }
+
+    #[test]
+    fn single_actor_runs_to_completion() {
+        let (mut m, p, base) = setup();
+        let mut bindings = vec![ActorBinding {
+            core: CoreId::new(0),
+            proc: p,
+            actor: Box::new(Reader {
+                base,
+                remaining: 5,
+                latencies: Vec::new(),
+            }),
+        }];
+        run_actors(&mut m, &mut bindings, Cycles::new(1_000_000)).unwrap();
+        assert!(m.core_now(CoreId::new(0)) > Cycles::ZERO);
+    }
+
+    #[test]
+    fn horizon_stops_infinite_actors() {
+        let (mut m, p, _) = setup();
+        let mut bindings = vec![ActorBinding {
+            core: CoreId::new(0),
+            proc: p,
+            actor: Box::new(Spinner),
+        }];
+        run_actors(&mut m, &mut bindings, Cycles::new(10_000)).unwrap();
+        let now = m.core_now(CoreId::new(0));
+        assert!(now >= Cycles::new(10_000));
+        assert!(now < Cycles::new(10_200));
+    }
+
+    #[test]
+    fn actors_interleave_in_clock_order() {
+        let (mut m, p, base) = setup();
+        // Two readers on different cores sharing a page: the second one to
+        // reach DRAM must hit the LLC instead, whichever interleaving — but
+        // both clocks must end near each other (fair interleaving).
+        let mut bindings = vec![
+            ActorBinding {
+                core: CoreId::new(0),
+                proc: p,
+                actor: Box::new(Reader {
+                    base,
+                    remaining: 50,
+                    latencies: Vec::new(),
+                }),
+            },
+            ActorBinding {
+                core: CoreId::new(1),
+                proc: p,
+                actor: Box::new(Reader {
+                    base: base + PAGE_SIZE as u64,
+                    remaining: 50,
+                    latencies: Vec::new(),
+                }),
+            },
+        ];
+        run_actors(&mut m, &mut bindings, Cycles::new(10_000_000)).unwrap();
+        let a = m.core_now(CoreId::new(0)).raw() as i64;
+        let b = m.core_now(CoreId::new(1)).raw() as i64;
+        assert!((a - b).abs() < 2_000, "clocks diverged: {a} vs {b}");
+    }
+
+    #[test]
+    fn two_actors_one_core_rejected() {
+        let (mut m, p, _) = setup();
+        let mut bindings = vec![
+            ActorBinding {
+                core: CoreId::new(0),
+                proc: p,
+                actor: Box::new(Spinner),
+            },
+            ActorBinding {
+                core: CoreId::new(0),
+                proc: p,
+                actor: Box::new(Spinner),
+            },
+        ];
+        assert!(run_actors(&mut m, &mut bindings, Cycles::new(1000)).is_err());
+    }
+
+    #[test]
+    fn out_of_range_core_rejected() {
+        let (mut m, p, _) = setup();
+        let mut bindings = vec![ActorBinding {
+            core: CoreId::new(99),
+            proc: p,
+            actor: Box::new(Spinner),
+        }];
+        assert!(matches!(
+            run_actors(&mut m, &mut bindings, Cycles::new(1000)),
+            Err(ModelError::NoSuchCore { core: 99 })
+        ));
+    }
+
+    #[test]
+    fn stuck_actor_detected() {
+        let (mut m, p, _) = setup();
+        let mut bindings = vec![ActorBinding {
+            core: CoreId::new(0),
+            proc: p,
+            actor: Box::new(Stuck),
+        }];
+        assert!(run_actors(&mut m, &mut bindings, Cycles::new(1000)).is_err());
+    }
+
+    #[test]
+    fn actor_errors_propagate() {
+        struct Faulter;
+        impl Actor for Faulter {
+            fn step(&mut self, cpu: &mut CoreHandle<'_>) -> Result<StepOutcome, ModelError> {
+                cpu.read(VirtAddr::new(0xdead_0000))?;
+                Ok(StepOutcome::Running)
+            }
+        }
+        let (mut m, p, _) = setup();
+        let mut bindings = vec![ActorBinding {
+            core: CoreId::new(0),
+            proc: p,
+            actor: Box::new(Faulter),
+        }];
+        assert!(matches!(
+            run_actors(&mut m, &mut bindings, Cycles::new(1000)),
+            Err(ModelError::PageFault { .. })
+        ));
+    }
+}

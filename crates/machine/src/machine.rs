@@ -1,0 +1,788 @@
+//! The machine itself: cores, hierarchy, processes, and instruction
+//! primitives.
+
+use std::fmt;
+
+use mee_cache::SetAssocCache;
+use mee_engine::Mee;
+use mee_mem::{
+    AddressSpace, AddressSpaceKind, DramModel, FrameAllocator, PhysLayout, PlacementPolicy,
+    RegionKind, StallGenerator,
+};
+use mee_tree::TreeGeometry;
+use mee_types::{Cycles, LineAddr, ModelError, PhysAddr, VirtAddr, PAGE_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+use crate::config::MachineConfig;
+
+/// Identifies a physical core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(usize);
+
+impl CoreId {
+    /// Creates a core id.
+    pub const fn new(index: usize) -> Self {
+        CoreId(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Identifies a simulated process (regular or enclave).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(usize);
+
+impl ProcId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc{}", self.0)
+    }
+}
+
+struct CoreState {
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    now: Cycles,
+    stalls: StallGenerator,
+}
+
+struct Process {
+    space: AddressSpace,
+}
+
+/// The simulated multi-core SGX machine.
+///
+/// See the crate docs for the architectural overview. All methods that model
+/// instructions advance the issuing core's local clock by the instruction's
+/// latency plus any background stalls, and return that same elapsed time.
+pub struct Machine {
+    cfg: MachineConfig,
+    layout: PhysLayout,
+    dram: DramModel,
+    mee: Mee,
+    llc: SetAssocCache,
+    cores: Vec<CoreState>,
+    procs: Vec<Process>,
+    general_alloc: FrameAllocator,
+    prm_alloc: FrameAllocator,
+    /// Functional store for general-region lines (protected lines live in
+    /// the integrity tree).
+    general_store: HashMap<LineAddr, u64>,
+    rng: StdRng,
+    /// Where the MEE walk of the most recent memory op stopped (`None` if
+    /// the op never reached the MEE).
+    last_mee_hit: Option<mee_engine::HitLevel>,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("cores", &self.cores.len())
+            .field("procs", &self.procs.len())
+            .field("mee", &self.mee)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// Builds the machine described by `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] for invalid configurations.
+    pub fn new(cfg: MachineConfig) -> Result<Self, ModelError> {
+        cfg.validate()?;
+        let layout = PhysLayout::new(cfg.general_bytes, cfg.prm_bytes)?;
+        let geo = TreeGeometry::new(layout.prm_data(), layout.prm_tree())?;
+        let dram = DramModel::new(cfg.dram.clone())?;
+        let mee = Mee::new(
+            geo,
+            cfg.mee_key,
+            cfg.mee_cache,
+            cfg.mee_policy.build(),
+            cfg.timing.clone(),
+        );
+        let llc = SetAssocCache::new(cfg.llc, cfg.llc_policy.build());
+        let cores = (0..cfg.cores)
+            .map(|i| CoreState {
+                l1: SetAssocCache::new(cfg.l1, cfg.mee_policy.build()),
+                l2: SetAssocCache::new(cfg.l2, cfg.mee_policy.build()),
+                now: Cycles::ZERO,
+                stalls: StallGenerator::new(
+                    cfg.timing.stall_mean_interval,
+                    cfg.timing.stall_min,
+                    cfg.timing.stall_max,
+                    cfg.stall_seed.wrapping_add(i as u64),
+                ),
+            })
+            .collect();
+        let general_alloc = FrameAllocator::new(
+            layout.general(),
+            PlacementPolicy::Randomized {
+                seed: cfg.alloc_seed,
+            },
+        );
+        let prm_alloc = FrameAllocator::new(
+            layout.prm_data(),
+            PlacementPolicy::Randomized {
+                seed: cfg.alloc_seed.wrapping_add(1),
+            },
+        );
+        Ok(Machine {
+            rng: StdRng::seed_from_u64(cfg.alloc_seed.wrapping_add(2)),
+            cfg,
+            layout,
+            dram,
+            mee,
+            llc,
+            cores,
+            procs: Vec::new(),
+            general_alloc,
+            prm_alloc,
+            general_store: HashMap::new(),
+            last_mee_hit: None,
+        })
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The physical memory layout.
+    pub fn layout(&self) -> &PhysLayout {
+        &self.layout
+    }
+
+    /// Read-only view of the MEE (cache contents, stats, geometry).
+    pub fn mee(&self) -> &Mee {
+        &self.mee
+    }
+
+    /// Mutable MEE access, for tamper-injection tests and the §5.5
+    /// way-partitioning mitigation.
+    pub fn mee_mut(&mut self) -> &mut Mee {
+        &mut self.mee
+    }
+
+    /// Read-only view of the shared LLC.
+    pub fn llc(&self) -> &SetAssocCache {
+        &self.llc
+    }
+
+    /// The local clock of a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_now(&self, core: CoreId) -> Cycles {
+        self.cores[core.index()].now
+    }
+
+    /// Number of cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Creates a process with an empty address space.
+    pub fn create_process(&mut self, kind: AddressSpaceKind) -> ProcId {
+        self.procs.push(Process {
+            space: AddressSpace::new(kind),
+        });
+        ProcId(self.procs.len() - 1)
+    }
+
+    /// Whether a process is an enclave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range.
+    pub fn is_enclave(&self, proc: ProcId) -> bool {
+        self.procs[proc.index()].space.kind() == AddressSpaceKind::Enclave
+    }
+
+    /// Maps `count` pages at `base` (page-aligned) into `proc`. Enclave
+    /// pages come from the PRM protected-data region, regular pages from
+    /// general DRAM — both physically scattered by the randomized allocator,
+    /// as a real OS would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation ([`ModelError::OutOfMemory`]) and mapping
+    /// errors; returns [`ModelError::InvalidConfig`] if `base` is not
+    /// page-aligned.
+    pub fn map_pages(&mut self, proc: ProcId, base: VirtAddr, count: usize) -> Result<(), ModelError> {
+        self.check_alignment(base)?;
+        let enclave = self.is_enclave(proc);
+        for i in 0..count {
+            let ppn = if enclave {
+                self.prm_alloc.alloc()?
+            } else {
+                self.general_alloc.alloc()?
+            };
+            let vpn = (base + (i * PAGE_SIZE) as u64).vpn();
+            self.procs[proc.index()].space.map_page(vpn, ppn)?;
+        }
+        Ok(())
+    }
+
+    /// Unmaps `count` pages at `base` from `proc` and returns their frames
+    /// to the allocator. Cached copies are left to age out naturally (the
+    /// experiments flush what they must).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::PageFault`] if any page in the range is not
+    /// mapped; pages before the faulting one stay unmapped.
+    pub fn unmap_pages(
+        &mut self,
+        proc: ProcId,
+        base: VirtAddr,
+        count: usize,
+    ) -> Result<(), ModelError> {
+        self.check_alignment(base)?;
+        let enclave = self.is_enclave(proc);
+        for i in 0..count {
+            let va = base + (i * PAGE_SIZE) as u64;
+            let ppn = self.procs[proc.index()]
+                .space
+                .unmap_page(va.vpn())
+                .ok_or(ModelError::PageFault { va })?;
+            if enclave {
+                self.prm_alloc.free(ppn);
+            } else {
+                self.general_alloc.free(ppn);
+            }
+        }
+        Ok(())
+    }
+
+    /// Maps `count` pages at `base` backed by *physically contiguous*
+    /// frames — a hugepage-style allocation. SGX provides no hugepages
+    /// (paper challenge 3), so this fails for enclaves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::IllegalInEnclave`] for enclave processes, and
+    /// propagates allocation/mapping errors otherwise.
+    pub fn map_pages_contiguous(
+        &mut self,
+        proc: ProcId,
+        base: VirtAddr,
+        count: usize,
+    ) -> Result<(), ModelError> {
+        self.check_alignment(base)?;
+        if self.is_enclave(proc) {
+            return Err(ModelError::IllegalInEnclave {
+                instruction: "hugepage mapping",
+            });
+        }
+        let first = self.general_alloc.alloc_contiguous(count)?;
+        for i in 0..count {
+            let vpn = (base + (i * PAGE_SIZE) as u64).vpn();
+            self.procs[proc.index()]
+                .space
+                .map_page(vpn, mee_types::Ppn::new(first.raw() + i as u64))?;
+        }
+        Ok(())
+    }
+
+    /// Translates a virtual address in `proc` (no timing side effects).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::PageFault`] for unmapped addresses.
+    pub fn translate(&self, proc: ProcId, va: VirtAddr) -> Result<PhysAddr, ModelError> {
+        self.procs[proc.index()].space.translate(va)
+    }
+
+    /// Loads from `va`: walks L1 → L2 → LLC → DRAM (+ MEE for protected
+    /// data), returning the elapsed cycles including background stalls.
+    ///
+    /// # Errors
+    ///
+    /// Returns page-fault, bad-address, or integrity-violation errors.
+    pub fn read(&mut self, core: CoreId, proc: ProcId, va: VirtAddr) -> Result<Cycles, ModelError> {
+        self.mem_op(core, proc, va, None)
+    }
+
+    /// Loads from `va` and also returns the 64-bit digest stored there.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::read`].
+    pub fn read_value(
+        &mut self,
+        core: CoreId,
+        proc: ProcId,
+        va: VirtAddr,
+    ) -> Result<(Cycles, u64), ModelError> {
+        let lat = self.mem_op(core, proc, va, None)?;
+        let pa = self.translate(proc, va)?;
+        let value = match self.layout.classify(pa)? {
+            RegionKind::ProtectedData => self.mee.tree_mut().peek(pa.line())?,
+            _ => self.general_store.get(&pa.line()).copied().unwrap_or(0),
+        };
+        Ok((lat, value))
+    }
+
+    /// Stores `digest` to `va` (write-allocate; protected stores update the
+    /// integrity tree — through the full MEE write path on a hierarchy miss,
+    /// functionally otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::read`].
+    pub fn write(
+        &mut self,
+        core: CoreId,
+        proc: ProcId,
+        va: VirtAddr,
+        digest: u64,
+    ) -> Result<Cycles, ModelError> {
+        self.mem_op(core, proc, va, Some(digest))
+    }
+
+    /// Evicts `va`'s line from every on-chip cache (all cores' L1/L2 and the
+    /// LLC). Crucially, `clflush` does **not** touch the MEE cache — the
+    /// asymmetry the whole attack rests on (paper challenge 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::PageFault`] for unmapped addresses.
+    pub fn clflush(&mut self, core: CoreId, proc: ProcId, va: VirtAddr) -> Result<Cycles, ModelError> {
+        let pa = self.translate(proc, va)?;
+        let line = pa.line();
+        for c in &mut self.cores {
+            c.l1.invalidate(line);
+            c.l2.invalidate(line);
+        }
+        self.llc.invalidate(line);
+        let lat = self.cfg.timing.clflush;
+        Ok(self.advance_with_stalls(core, lat))
+    }
+
+    /// A serializing fence (ordering is implicit in the sequential model;
+    /// only the latency is charged).
+    pub fn mfence(&mut self, core: CoreId) -> Cycles {
+        let lat = self.cfg.timing.mfence;
+        self.advance_with_stalls(core, lat)
+    }
+
+    /// Reads the time-stamp counter. Illegal in enclave mode on SGX1
+    /// (paper challenge 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::IllegalInEnclave`] when `proc` is an enclave.
+    pub fn rdtsc(&mut self, core: CoreId, proc: ProcId) -> Result<Cycles, ModelError> {
+        if self.is_enclave(proc) {
+            return Err(ModelError::IllegalInEnclave {
+                instruction: "rdtsc",
+            });
+        }
+        let ts = self.cores[core.index()].now;
+        self.advance_with_stalls(core, self.cfg.timing.rdtsc);
+        Ok(ts)
+    }
+
+    /// Reads the hyperthread timer mailbox (paper Figure 2(c)): a sibling
+    /// thread continuously publishes `rdtsc` to normal memory, so enclave
+    /// code can read a timestamp for ~50 cycles — quantized to the
+    /// publisher's refresh period.
+    pub fn timer_read(&mut self, core: CoreId) -> Cycles {
+        let now = self.cores[core.index()].now.raw();
+        let q = self.cfg.timer_quantum;
+        let ts = Cycles::new(now - now % q);
+        self.advance_with_stalls(core, self.cfg.timing.timer_read);
+        ts
+    }
+
+    /// Obtains a timestamp via an OCALL round trip (paper Figure 2(b)):
+    /// legal from an enclave but costs 8000–15000 cycles, which is why the
+    /// paper rejects it.
+    pub fn ocall_rdtsc(&mut self, core: CoreId) -> Cycles {
+        let lat = Cycles::new(self.rng.random_range(
+            self.cfg.timing.ocall_min.raw()..=self.cfg.timing.ocall_max.raw(),
+        ));
+        self.advance_with_stalls(core, lat);
+        self.cores[core.index()].now
+    }
+
+    /// Spins until the core's clock reaches `deadline` (polling the timer
+    /// mailbox). A background stall near the deadline delays the wake-up by
+    /// the portion spilling past it.
+    pub fn busy_until(&mut self, core: CoreId, deadline: Cycles) {
+        let c = &mut self.cores[core.index()];
+        if c.now >= deadline {
+            return;
+        }
+        let mut wake = deadline;
+        for (at, dur) in c.stalls.stall_events_in(c.now, deadline) {
+            let end = at + dur;
+            if end > wake {
+                wake = end;
+            }
+        }
+        c.now = wake;
+    }
+
+    /// Advances the core's clock by `cycles` of pure computation.
+    pub fn advance(&mut self, core: CoreId, cycles: Cycles) -> Cycles {
+        self.advance_with_stalls(core, cycles)
+    }
+
+    /// Checks whether `line` is resident anywhere on-chip (L1/L2/LLC) —
+    /// an oracle for tests, not an instruction.
+    pub fn line_cached_anywhere(&self, line: LineAddr) -> bool {
+        self.llc.contains(line)
+            || self
+                .cores
+                .iter()
+                .any(|c| c.l1.contains(line) || c.l2.contains(line))
+    }
+
+    /// Verifies the inclusive-LLC invariant: every line resident in any
+    /// core's L1 or L2 must also be resident in the LLC. Returns the first
+    /// violating `(core, line)` if any — a test oracle, not an instruction.
+    pub fn check_inclusion(&self) -> Option<(CoreId, LineAddr)> {
+        for (i, c) in self.cores.iter().enumerate() {
+            for line in c.l1.resident_lines().chain(c.l2.resident_lines()) {
+                if !self.llc.contains(line) {
+                    return Some((CoreId::new(i), line));
+                }
+            }
+        }
+        None
+    }
+
+    /// Verifies that no tree-region line ever entered the on-chip caches
+    /// (tree data is visible only to the MEE). Returns a violating line if
+    /// any — a test oracle.
+    pub fn check_no_tree_lines_on_chip(&self) -> Option<LineAddr> {
+        let tree = self.layout.prm_tree();
+        let mut all_lines = self
+            .llc
+            .resident_lines()
+            .chain(self.cores.iter().flat_map(|c| {
+                c.l1.resident_lines().chain(c.l2.resident_lines())
+            }));
+        all_lines.find(|&line| tree.contains(line.base()))
+    }
+
+    /// Where the MEE walk of the most recent [`Self::read`]/[`Self::write`]
+    /// stopped, or `None` if the access was served on-chip or from the
+    /// general region. Ground-truth oracle for experiment labeling — not an
+    /// instruction.
+    pub fn last_mee_hit(&self) -> Option<mee_engine::HitLevel> {
+        self.last_mee_hit
+    }
+
+    fn check_alignment(&self, base: VirtAddr) -> Result<(), ModelError> {
+        if base.is_aligned(PAGE_SIZE) {
+            Ok(())
+        } else {
+            Err(ModelError::InvalidConfig {
+                reason: format!("mapping base {base} is not page-aligned"),
+            })
+        }
+    }
+
+    fn advance_with_stalls(&mut self, core: CoreId, lat: Cycles) -> Cycles {
+        let c = &mut self.cores[core.index()];
+        let start = c.now;
+        let end = start + lat;
+        let stall = c.stalls.stall_in(start, end);
+        c.now = end + stall;
+        lat + stall
+    }
+
+    fn mem_op(
+        &mut self,
+        core: CoreId,
+        proc: ProcId,
+        va: VirtAddr,
+        store: Option<u64>,
+    ) -> Result<Cycles, ModelError> {
+        let pa = self.translate(proc, va)?;
+        let kind = self.layout.classify(pa)?;
+        if kind == RegionKind::IntegrityTree {
+            // Software can never map tree frames; defense in depth.
+            return Err(ModelError::BadPhysAddr { pa });
+        }
+        let line = pa.line();
+        let t = &self.cfg.timing;
+        let mut lat = t.l1_hit;
+        let mut reached_dram = false;
+        self.last_mee_hit = None;
+
+        let l1_hit = self.cores[core.index()].l1.access(line).hit;
+        if !l1_hit {
+            lat += t.l2_hit;
+            let l2_hit = self.cores[core.index()].l2.access(line).hit;
+            if !l2_hit {
+                lat += t.llc_hit;
+                let llc_res = self.llc.access(line);
+                if let Some(victim) = llc_res.evicted {
+                    // Inclusive LLC: back-invalidate every private cache.
+                    for c in &mut self.cores {
+                        c.l1.invalidate(victim);
+                        c.l2.invalidate(victim);
+                    }
+                }
+                if !llc_res.hit {
+                    reached_dram = true;
+                    lat += self.dram.access(line);
+                    if kind == RegionKind::ProtectedData {
+                        // The walk reaches the MEE after the on-chip lookups
+                        // and the data fetch have elapsed on this core.
+                        let arrival = self.cores[core.index()].now + lat;
+                        match store {
+                            Some(digest) => {
+                                let access =
+                                    self.mee.write(line, digest, arrival, &mut self.dram)?;
+                                self.last_mee_hit = Some(access.hit_level);
+                                lat += access.latency;
+                            }
+                            None => {
+                                let r = self.mee.read(line, arrival, &mut self.dram)?;
+                                self.last_mee_hit = Some(r.access.hit_level);
+                                lat += r.access.latency;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Functional store for writes that never reached the MEE (cache
+        // hits): write-through to the authoritative state.
+        if let Some(digest) = store {
+            match kind {
+                RegionKind::ProtectedData => {
+                    if !reached_dram {
+                        self.mee.tree_mut().write(line, digest)?;
+                    }
+                }
+                RegionKind::General => {
+                    self.general_store.insert(line, digest);
+                }
+                RegionKind::IntegrityTree => unreachable!("guarded above"),
+            }
+        }
+
+        Ok(self.advance_with_stalls(core, lat))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    const CORE0: CoreId = CoreId::new(0);
+    const CORE1: CoreId = CoreId::new(1);
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::small()).unwrap()
+    }
+
+    fn enclave_with_pages(m: &mut Machine, pages: usize) -> (ProcId, VirtAddr) {
+        let p = m.create_process(AddressSpaceKind::Enclave);
+        let base = VirtAddr::new(0x100_0000);
+        m.map_pages(p, base, pages).unwrap();
+        (p, base)
+    }
+
+    #[test]
+    fn read_miss_then_hit_latencies() {
+        let mut m = machine();
+        let (p, base) = enclave_with_pages(&mut m, 1);
+        let cold = m.read(CORE0, p, base).unwrap();
+        let warm = m.read(CORE0, p, base).unwrap();
+        assert!(warm < cold);
+        assert_eq!(warm, m.config().timing.l1_hit);
+        // Cold protected read went through the MEE: root-walk territory.
+        assert!(cold.raw() > 500, "cold read = {cold}");
+    }
+
+    #[test]
+    fn clflush_forces_mee_visible_access() {
+        let mut m = machine();
+        let (p, base) = enclave_with_pages(&mut m, 1);
+        m.read(CORE0, p, base).unwrap();
+        assert_eq!(m.mee().stats().reads, 1);
+        // Cached: no MEE traffic.
+        m.read(CORE0, p, base).unwrap();
+        assert_eq!(m.mee().stats().reads, 1);
+        // Flush the on-chip copy; the MEE cache keeps its tree lines.
+        m.clflush(CORE0, p, base).unwrap();
+        let lat = m.read(CORE0, p, base).unwrap();
+        assert_eq!(m.mee().stats().reads, 2);
+        // Versions line still cached in the MEE: the fast ~480-cycle path.
+        let t = &m.config().timing;
+        let nominal = t.protected_hit_latency(0);
+        let diff = lat.raw() as i64 - nominal.raw() as i64;
+        assert!(diff.abs() < 100, "versions-hit latency {lat} vs nominal {nominal}");
+    }
+
+    #[test]
+    fn cross_core_llc_sharing() {
+        let mut m = machine();
+        let (p, base) = enclave_with_pages(&mut m, 1);
+        m.read(CORE0, p, base).unwrap();
+        // Core 1 misses L1/L2 but hits the shared LLC.
+        let lat = m.read(CORE1, p, base).unwrap();
+        let t = &m.config().timing;
+        assert_eq!(lat, t.l1_hit + t.l2_hit + t.llc_hit);
+    }
+
+    #[test]
+    fn rdtsc_faults_in_enclave_only() {
+        let mut m = machine();
+        let (e, _) = enclave_with_pages(&mut m, 1);
+        let r = m.create_process(AddressSpaceKind::Regular);
+        assert!(matches!(
+            m.rdtsc(CORE0, e),
+            Err(ModelError::IllegalInEnclave { instruction: "rdtsc" })
+        ));
+        assert!(m.rdtsc(CORE0, r).is_ok());
+    }
+
+    #[test]
+    fn hugepages_refused_for_enclaves() {
+        let mut m = machine();
+        let e = m.create_process(AddressSpaceKind::Enclave);
+        let r = m.create_process(AddressSpaceKind::Regular);
+        let base = VirtAddr::new(0x200_0000);
+        assert!(m.map_pages_contiguous(e, base, 4).is_err());
+        m.map_pages_contiguous(r, base, 4).unwrap();
+        // Contiguity check.
+        let pa0 = m.translate(r, base).unwrap();
+        let pa3 = m.translate(r, base + 3 * PAGE_SIZE as u64).unwrap();
+        assert_eq!(pa3 - pa0, 3 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn enclave_pages_live_in_prm_and_scatter() {
+        let mut m = machine();
+        let (p, base) = enclave_with_pages(&mut m, 16);
+        let mut sequential_pairs = 0;
+        let mut prev = None;
+        for i in 0..16u64 {
+            let pa = m.translate(p, base + i * PAGE_SIZE as u64).unwrap();
+            assert!(m.layout().prm_data().contains(pa));
+            if let Some(prev) = prev {
+                if pa > prev && pa - prev == PAGE_SIZE as u64 {
+                    sequential_pairs += 1;
+                }
+            }
+            prev = Some(pa);
+        }
+        assert!(sequential_pairs < 8, "frames not scattered");
+    }
+
+    #[test]
+    fn timer_read_is_quantized_and_cheap() {
+        let mut m = machine();
+        m.advance(CORE0, Cycles::new(1234));
+        let ts = m.timer_read(CORE0);
+        assert_eq!(ts.raw() % m.config().timer_quantum, 0);
+        assert!(ts.raw() <= 1234);
+        assert!(1234 - ts.raw() < m.config().timer_quantum);
+        // Cost: ~50 cycles.
+        assert_eq!(
+            m.core_now(CORE0),
+            Cycles::new(1234) + m.config().timing.timer_read
+        );
+    }
+
+    #[test]
+    fn ocall_timestamp_is_expensive() {
+        let mut m = machine();
+        let before = m.core_now(CORE0);
+        let ts = m.ocall_rdtsc(CORE0);
+        let elapsed = ts - before;
+        assert!((8_000..=15_000).contains(&elapsed.raw()), "ocall = {elapsed}");
+    }
+
+    #[test]
+    fn busy_until_reaches_deadline() {
+        let mut m = machine();
+        m.busy_until(CORE0, Cycles::new(50_000));
+        assert_eq!(m.core_now(CORE0), Cycles::new(50_000));
+        // No-op when already past.
+        m.busy_until(CORE0, Cycles::new(10));
+        assert_eq!(m.core_now(CORE0), Cycles::new(50_000));
+    }
+
+    #[test]
+    fn write_then_read_value_roundtrip() {
+        let mut m = machine();
+        let (p, base) = enclave_with_pages(&mut m, 1);
+        m.write(CORE0, p, base + 64, 0xfeed).unwrap();
+        let (_, v) = m.read_value(CORE0, p, base + 64).unwrap();
+        assert_eq!(v, 0xfeed);
+        // General-region store too.
+        let r = m.create_process(AddressSpaceKind::Regular);
+        let gbase = VirtAddr::new(0x900_0000);
+        m.map_pages(r, gbase, 1).unwrap();
+        m.write(CORE0, r, gbase, 77).unwrap();
+        assert_eq!(m.read_value(CORE0, r, gbase).unwrap().1, 77);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut m = machine();
+        let p = m.create_process(AddressSpaceKind::Regular);
+        assert!(matches!(
+            m.read(CORE0, p, VirtAddr::new(0x1000)),
+            Err(ModelError::PageFault { .. })
+        ));
+    }
+
+    #[test]
+    fn general_reads_never_touch_mee() {
+        let mut m = machine();
+        let r = m.create_process(AddressSpaceKind::Regular);
+        let base = VirtAddr::new(0x800_0000);
+        m.map_pages(r, base, 8).unwrap();
+        for i in 0..8u64 {
+            m.read(CORE0, r, base + i * PAGE_SIZE as u64).unwrap();
+        }
+        assert_eq!(m.mee().stats().reads, 0);
+        assert_eq!(m.mee().cache().occupancy(), 0);
+    }
+
+    #[test]
+    fn per_core_clocks_are_independent() {
+        let mut m = machine();
+        m.advance(CORE0, Cycles::new(100));
+        assert_eq!(m.core_now(CORE0), Cycles::new(100));
+        assert_eq!(m.core_now(CORE1), Cycles::ZERO);
+    }
+
+    #[test]
+    fn map_rejects_unaligned_base() {
+        let mut m = machine();
+        let p = m.create_process(AddressSpaceKind::Regular);
+        assert!(m.map_pages(p, VirtAddr::new(0x123), 1).is_err());
+    }
+}

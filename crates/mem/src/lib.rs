@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! Memory-system substrate: physical layout, frame allocation, page tables,
+//! and DRAM timing.
+//!
+//! The paper's machine is an i7-6700K with 32 GB of DRAM of which 128 MB is
+//! reserved as the Processor Reserved Memory (PRM) holding enclave pages and
+//! the MEE integrity tree. This crate models:
+//!
+//! * [`PhysLayout`] — the split of physical memory into a *general* region
+//!   and the *PRM*;
+//! * [`FrameAllocator`] — page-frame allocation with randomized placement
+//!   (the OS-like default, which is what makes the paper's candidate-set
+//!   statistics work), sequential placement, and contiguous ("hugepage-like")
+//!   allocation for non-enclave baselines;
+//! * [`AddressSpace`] — per-tenant virtual→physical mappings with enclave
+//!   semantics;
+//! * [`DramModel`] — bank/row-buffer DRAM latency with seeded Gaussian
+//!   jitter, the substrate for every timing distribution in the paper;
+//! * [`StallGenerator`] — Poisson background-stall noise standing in for OS
+//!   interference on a real machine.
+//!
+//! # Example
+//!
+//! ```
+//! use mee_mem::{AddressSpace, AddressSpaceKind, FrameAllocator, PhysLayout, PlacementPolicy};
+//! use mee_types::VirtAddr;
+//!
+//! # fn main() -> Result<(), mee_types::ModelError> {
+//! let layout = PhysLayout::new(1 << 30, 128 << 20)?; // 1 GiB general + 128 MiB PRM
+//! let mut alloc = FrameAllocator::new(layout.prm_data(), PlacementPolicy::Randomized { seed: 7 });
+//! let mut space = AddressSpace::new(AddressSpaceKind::Enclave);
+//! let base = VirtAddr::new(0x10_0000);
+//! space.map_page(base.vpn(), alloc.alloc()?)?;
+//! let pa = space.translate(base + 0x40)?;
+//! assert!(layout.prm_data().contains(pa));
+//! # Ok(())
+//! # }
+//! ```
+
+mod alloc;
+mod dram;
+mod layout;
+mod noise;
+mod space;
+
+pub use alloc::{FrameAllocator, PlacementPolicy};
+pub use dram::{DramConfig, DramModel};
+pub use layout::{PhysLayout, Region, RegionKind};
+pub use noise::{GaussianJitter, StallGenerator};
+pub use space::{AddressSpace, AddressSpaceKind};

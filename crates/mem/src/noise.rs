@@ -1,0 +1,238 @@
+//! Noise sources: Gaussian latency jitter and Poisson background stalls.
+//!
+//! Real-machine timing attacks fight two noise classes the paper discusses
+//! (§5.2, §5.4): per-access latency variance (DRAM scheduling, prefetchers)
+//! and coarse interruptions (timer interrupts, SMIs, scheduler preemption).
+//! Both are modeled here with seeded RNGs so every experiment is exactly
+//! reproducible.
+
+use mee_types::Cycles;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded Gaussian jitter, sampled via Box–Muller and clamped to ±4σ.
+#[derive(Debug, Clone)]
+pub struct GaussianJitter {
+    rng: StdRng,
+    std: f64,
+    /// Second Box–Muller variate, cached.
+    spare: Option<f64>,
+}
+
+impl GaussianJitter {
+    /// Creates a jitter source with standard deviation `std` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative or non-finite.
+    pub fn new(std: f64, seed: u64) -> Self {
+        assert!(std >= 0.0 && std.is_finite(), "jitter std must be >= 0");
+        GaussianJitter {
+            rng: StdRng::seed_from_u64(seed),
+            std,
+            spare: None,
+        }
+    }
+
+    /// Samples one jitter value in cycles (may be negative).
+    pub fn sample(&mut self) -> i64 {
+        if self.std == 0.0 {
+            return 0;
+        }
+        let z = match self.spare.take() {
+            Some(z) => z,
+            None => {
+                // Box–Muller transform.
+                let u1: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = self.rng.random();
+                let r = (-2.0 * u1.ln()).sqrt();
+                let theta = 2.0 * std::f64::consts::PI * u2;
+                self.spare = Some(r * theta.sin());
+                r * theta.cos()
+            }
+        };
+        let clamped = z.clamp(-4.0, 4.0);
+        (clamped * self.std).round() as i64
+    }
+
+    /// Adds jitter to a base latency, never letting the result drop below
+    /// half the base (latency cannot go negative or implausibly small).
+    pub fn apply(&mut self, base: Cycles) -> Cycles {
+        let j = self.sample();
+        let floor = (base.raw() / 2) as i64;
+        let jittered = (base.raw() as i64 + j).max(floor);
+        Cycles::new(jittered as u64)
+    }
+}
+
+/// Poisson-process background stalls: each stall has a uniform duration in
+/// `[min, max]` and stalls arrive with exponential inter-arrival times.
+#[derive(Debug, Clone)]
+pub struct StallGenerator {
+    rng: StdRng,
+    mean_interval: u64,
+    min: Cycles,
+    max: Cycles,
+    next_at: u64,
+}
+
+impl StallGenerator {
+    /// Creates a stall source. `mean_interval == 0` disables stalls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn new(mean_interval: u64, min: Cycles, max: Cycles, seed: u64) -> Self {
+        assert!(min <= max, "stall min must not exceed max");
+        let mut g = StallGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            mean_interval,
+            min,
+            max,
+            next_at: 0,
+        };
+        g.next_at = g.draw_interval(0);
+        g
+    }
+
+    /// A generator that never stalls.
+    pub fn disabled() -> Self {
+        Self::new(0, Cycles::ZERO, Cycles::ZERO, 0)
+    }
+
+    fn draw_interval(&mut self, from: u64) -> u64 {
+        if self.mean_interval == 0 {
+            return u64::MAX;
+        }
+        let u: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+        let gap = (-u.ln() * self.mean_interval as f64).ceil() as u64;
+        from.saturating_add(gap.max(1))
+    }
+
+    /// Returns the total stall cycles triggered in the half-open window
+    /// `[from, to)` of a core's local clock, advancing internal state.
+    pub fn stall_in(&mut self, from: Cycles, to: Cycles) -> Cycles {
+        self.stall_events_in(from, to)
+            .into_iter()
+            .map(|(_, dur)| dur)
+            .sum()
+    }
+
+    /// Returns every stall event triggered in `[from, to)` as
+    /// `(trigger_time, duration)` pairs, advancing internal state.
+    ///
+    /// Used by the machine's busy-wait primitive, where only the portion of
+    /// a stall spilling past the wake-up deadline actually delays the
+    /// waiter.
+    pub fn stall_events_in(&mut self, from: Cycles, to: Cycles) -> Vec<(Cycles, Cycles)> {
+        let mut events = Vec::new();
+        while self.next_at >= from.raw() && self.next_at < to.raw() {
+            let dur = if self.min == self.max {
+                self.min.raw()
+            } else {
+                self.rng.random_range(self.min.raw()..=self.max.raw())
+            };
+            events.push((Cycles::new(self.next_at), Cycles::new(dur)));
+            self.next_at = self.draw_interval(self.next_at);
+        }
+        // If the clock jumped past pending stalls entirely, catch up.
+        while self.next_at < from.raw() {
+            self.next_at = self.draw_interval(from.raw());
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_std_is_silent() {
+        let mut j = GaussianJitter::new(0.0, 1);
+        for _ in 0..100 {
+            assert_eq!(j.sample(), 0);
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let mut a = GaussianJitter::new(10.0, 42);
+        let mut b = GaussianJitter::new(10.0, 42);
+        for _ in 0..50 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn jitter_moments_are_roughly_right() {
+        let mut j = GaussianJitter::new(20.0, 7);
+        let n = 20_000;
+        let samples: Vec<i64> = (0..n).map(|_| j.sample()).collect();
+        let mean = samples.iter().sum::<i64>() as f64 / n as f64;
+        let var = samples
+            .iter()
+            .map(|&s| (s as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!(mean.abs() < 1.0, "mean = {mean}");
+        assert!((var.sqrt() - 20.0).abs() < 1.5, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn apply_never_goes_below_half_base() {
+        let mut j = GaussianJitter::new(500.0, 3);
+        for _ in 0..1000 {
+            let c = j.apply(Cycles::new(100));
+            assert!(c.raw() >= 50);
+        }
+    }
+
+    #[test]
+    fn disabled_stalls_never_fire() {
+        let mut s = StallGenerator::disabled();
+        assert_eq!(
+            s.stall_in(Cycles::ZERO, Cycles::new(u64::MAX / 2)),
+            Cycles::ZERO
+        );
+    }
+
+    #[test]
+    fn stall_rate_matches_mean_interval() {
+        let mut s = StallGenerator::new(10_000, Cycles::new(100), Cycles::new(100), 11);
+        let horizon = 10_000_000u64;
+        let mut fired = 0u64;
+        let mut t = 0u64;
+        let step = 1000u64;
+        while t < horizon {
+            let stall = s.stall_in(Cycles::new(t), Cycles::new(t + step));
+            fired += stall.raw() / 100;
+            t += step;
+        }
+        let expected = horizon / 10_000;
+        assert!(
+            (fired as f64 - expected as f64).abs() < expected as f64 * 0.2,
+            "fired = {fired}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn stall_durations_within_bounds() {
+        let mut s = StallGenerator::new(1_000, Cycles::new(50), Cycles::new(200), 5);
+        let mut t = 0u64;
+        for _ in 0..1000 {
+            let stall = s.stall_in(Cycles::new(t), Cycles::new(t + 500));
+            // Multiple stalls can land in one window; each is in [50, 200].
+            if stall.raw() > 0 {
+                assert!(stall.raw() >= 50);
+            }
+            t += 500;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min must not exceed max")]
+    fn stall_rejects_inverted_bounds() {
+        let _ = StallGenerator::new(100, Cycles::new(10), Cycles::new(5), 0);
+    }
+}

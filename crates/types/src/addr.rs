@@ -1,0 +1,294 @@
+//! Strongly-typed addresses.
+//!
+//! The simulator distinguishes virtual addresses (what attacker code sees),
+//! physical addresses (what the caches and the MEE index by), physical cache
+//! line numbers, and page numbers. Keeping them as distinct newtypes prevents
+//! the classic bug family where a set index is computed from the wrong
+//! address space — which, for this paper, would silently destroy the very
+//! effect under study.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+use crate::{LINE_SIZE, PAGE_SIZE};
+
+macro_rules! addr_common {
+    ($name:ident, $doc_kind:literal) => {
+        impl $name {
+            /// Creates a new address from a raw integer.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw integer value.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the offset of this address within its 4 KiB page.
+            #[inline]
+            pub const fn page_offset(self) -> u64 {
+                self.0 % PAGE_SIZE as u64
+            }
+
+            /// Returns the offset of this address within its 64 B line.
+            #[inline]
+            pub const fn line_offset(self) -> u64 {
+                self.0 % LINE_SIZE as u64
+            }
+
+            /// Rounds the address down to a multiple of `align`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `align` is not a power of two.
+            #[inline]
+            pub fn align_down(self, align: usize) -> Self {
+                assert!(align.is_power_of_two(), "alignment must be a power of two");
+                Self(self.0 & !(align as u64 - 1))
+            }
+
+            /// Returns `true` if the address is a multiple of `align`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `align` is not a power of two.
+            #[inline]
+            pub fn is_aligned(self, align: usize) -> bool {
+                self.align_down(align) == self
+            }
+        }
+
+        impl Add<u64> for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: u64) -> Self {
+                Self(self.0 + rhs)
+            }
+        }
+
+        impl AddAssign<u64> for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: u64) {
+                self.0 += rhs;
+            }
+        }
+
+        impl Sub<$name> for $name {
+            type Output = u64;
+            #[inline]
+            fn sub(self, rhs: $name) -> u64 {
+                self.0 - rhs.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($doc_kind, ":{:#x}"), self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<$name> for u64 {
+            #[inline]
+            fn from(a: $name) -> u64 {
+                a.0
+            }
+        }
+    };
+}
+
+/// A virtual address as seen by a (simulated) user program or enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+addr_common!(VirtAddr, "va");
+
+impl VirtAddr {
+    /// Returns the virtual page number containing this address.
+    #[inline]
+    pub const fn vpn(self) -> Vpn {
+        Vpn(self.0 / PAGE_SIZE as u64)
+    }
+}
+
+/// A physical address — the address space the caches, DRAM model, and
+/// integrity tree index by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+addr_common!(PhysAddr, "pa");
+
+impl PhysAddr {
+    /// Returns the physical page number containing this address.
+    #[inline]
+    pub const fn ppn(self) -> Ppn {
+        Ppn(self.0 / PAGE_SIZE as u64)
+    }
+
+    /// Returns the physical cache line containing this address.
+    #[inline]
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_SIZE as u64)
+    }
+}
+
+/// A physical cache line number (physical address divided by [`LINE_SIZE`]).
+///
+/// All caches in the model are physically indexed and tagged, so this is the
+/// unit they operate on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line number directly from a raw line index.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw line index.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the physical address of the first byte of this line.
+    #[inline]
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr(self.0 * LINE_SIZE as u64)
+    }
+
+    /// Cache set index for a cache with `sets` sets (power of two).
+    #[inline]
+    pub const fn set_index(self, sets: usize) -> usize {
+        (self.0 % sets as u64) as usize
+    }
+}
+
+impl Add<u64> for LineAddr {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: u64) -> Self {
+        Self(self.0 + rhs)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line:{:#x}", self.0)
+    }
+}
+
+impl From<PhysAddr> for LineAddr {
+    #[inline]
+    fn from(pa: PhysAddr) -> Self {
+        pa.line()
+    }
+}
+
+/// A virtual page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vpn(u64);
+
+/// A physical page (frame) number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ppn(u64);
+
+macro_rules! pn_common {
+    ($name:ident, $addr:ident, $label:literal) => {
+        impl $name {
+            /// Creates a page number from a raw index.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw page index.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the address of the first byte of this page.
+            #[inline]
+            pub const fn base(self) -> $addr {
+                $addr::new(self.0 * PAGE_SIZE as u64)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($label, ":{:#x}"), self.0)
+            }
+        }
+    };
+}
+
+pn_common!(Vpn, VirtAddr, "vpn");
+pn_common!(Ppn, PhysAddr, "ppn");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_and_line_arithmetic() {
+        let va = VirtAddr::new(0x1234);
+        assert_eq!(va.page_offset(), 0x234);
+        assert_eq!(va.line_offset(), 0x34);
+        assert_eq!(va.vpn(), Vpn::new(1));
+        assert_eq!(va.align_down(PAGE_SIZE), VirtAddr::new(0x1000));
+        assert!(VirtAddr::new(0x2000).is_aligned(PAGE_SIZE));
+        assert!(!va.is_aligned(LINE_SIZE));
+    }
+
+    #[test]
+    fn phys_line_round_trips() {
+        let pa = PhysAddr::new(0x8040);
+        let line = pa.line();
+        assert_eq!(line.base(), PhysAddr::new(0x8040).align_down(LINE_SIZE));
+        assert_eq!(LineAddr::from(pa), line);
+        assert_eq!(line.set_index(128), (0x8040 / 64) % 128);
+    }
+
+    #[test]
+    fn ppn_base_round_trips() {
+        let ppn = Ppn::new(7);
+        assert_eq!(ppn.base(), PhysAddr::new(7 * PAGE_SIZE as u64));
+        assert_eq!(ppn.base().ppn(), ppn);
+    }
+
+    #[test]
+    fn addition_and_subtraction() {
+        let a = PhysAddr::new(100);
+        let b = a + 28;
+        assert_eq!(b - a, 28);
+        let mut c = VirtAddr::new(0);
+        c += PAGE_SIZE as u64;
+        assert_eq!(c.vpn(), Vpn::new(1));
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert_eq!(format!("{}", VirtAddr::new(0x10)), "va:0x10");
+        assert_eq!(format!("{}", PhysAddr::new(0x10)), "pa:0x10");
+        assert_eq!(format!("{}", LineAddr::new(3)), "line:0x3");
+        assert_eq!(format!("{}", Vpn::new(3)), "vpn:0x3");
+        assert_eq!(format!("{}", Ppn::new(3)), "ppn:0x3");
+        assert_eq!(format!("{:x}", PhysAddr::new(255)), "ff");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn align_down_rejects_non_power_of_two() {
+        let _ = VirtAddr::new(0x1000).align_down(3);
+    }
+}

@@ -1,0 +1,179 @@
+//! Simulated time, counted in CPU clock cycles.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A duration or timestamp measured in CPU clock cycles.
+///
+/// The whole simulator is clocked in cycles; wall-clock quantities (bit rate
+/// in KB/s) are derived at the edge using a clock frequency from
+/// [`TimingConfig`](crate::TimingConfig).
+///
+/// ```
+/// use mee_types::Cycles;
+///
+/// let window = Cycles::new(15_000);
+/// let bit_time = window * 8;
+/// assert_eq!(bit_time.raw(), 120_000);
+/// assert!(window < bit_time);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles; the epoch of every per-core clock.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: `self - rhs`, clamped at zero.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    #[inline]
+    pub const fn checked_sub(self, rhs: Cycles) -> Option<Cycles> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Cycles(v)),
+            None => None,
+        }
+    }
+
+    /// Returns the larger of two cycle counts.
+    #[inline]
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// Converts a cycle count to seconds at the given clock frequency.
+    #[inline]
+    pub fn to_seconds(self, clock_hz: f64) -> f64 {
+        self.0 as f64 / clock_hz
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn div(self, rhs: u64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, |acc, c| acc + c)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+impl From<u64> for Cycles {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        Cycles(raw)
+    }
+}
+
+impl From<Cycles> for u64 {
+    #[inline]
+    fn from(c: Cycles) -> u64 {
+        c.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycles::new(100);
+        let b = Cycles::new(40);
+        assert_eq!(a + b, Cycles::new(140));
+        assert_eq!(a - b, Cycles::new(60));
+        assert_eq!(a * 3, Cycles::new(300));
+        assert_eq!(a / 4, Cycles::new(25));
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+        assert_eq!(a.checked_sub(b), Some(Cycles::new(60)));
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn sum_and_assign_ops() {
+        let total: Cycles = [10u64, 20, 30].iter().map(|&c| Cycles::new(c)).sum();
+        assert_eq!(total, Cycles::new(60));
+        let mut c = Cycles::new(5);
+        c += Cycles::new(5);
+        c -= Cycles::new(3);
+        assert_eq!(c.raw(), 7);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let c = Cycles::new(4_200_000_000);
+        let s = c.to_seconds(4.2e9);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Cycles::new(480)), "480 cyc");
+    }
+}

@@ -1,0 +1,129 @@
+//! The workspace-wide error type.
+
+use core::fmt;
+
+use crate::{LineAddr, PhysAddr, VirtAddr};
+
+/// Errors surfaced by the memory-system model.
+///
+/// Every fallible public API in the workspace returns `Result<_, ModelError>`.
+/// The variants mirror the faults a real machine (or the SGX programming
+/// model) would raise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A virtual address was used with no mapping in the current address
+    /// space — the model's page fault.
+    PageFault {
+        /// The faulting address.
+        va: VirtAddr,
+    },
+    /// A physical address fell outside every configured memory region.
+    BadPhysAddr {
+        /// The out-of-range address.
+        pa: PhysAddr,
+    },
+    /// An instruction that is illegal in enclave mode was executed from an
+    /// enclave (the paper's challenge 4: `rdtsc` faults inside SGX1).
+    IllegalInEnclave {
+        /// Mnemonic of the offending instruction.
+        instruction: &'static str,
+    },
+    /// An allocation request could not be satisfied.
+    OutOfMemory {
+        /// Number of 4 KiB pages requested.
+        requested_pages: usize,
+        /// Number of 4 KiB pages still free in the target region.
+        available_pages: usize,
+    },
+    /// A configuration value was rejected during construction.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Integrity verification failed: the MAC or counter chain for a
+    /// protected line did not verify (tamper detected).
+    IntegrityViolation {
+        /// The protected line whose verification failed.
+        line: LineAddr,
+        /// The tree level at which verification failed (0 = versions).
+        level: usize,
+    },
+    /// A simulated actor referenced a core that does not exist.
+    NoSuchCore {
+        /// The out-of-range core index.
+        core: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::PageFault { va } => write!(f, "page fault at {va}"),
+            ModelError::BadPhysAddr { pa } => {
+                write!(f, "physical address {pa} outside all memory regions")
+            }
+            ModelError::IllegalInEnclave { instruction } => {
+                write!(f, "instruction `{instruction}` is illegal in enclave mode")
+            }
+            ModelError::OutOfMemory {
+                requested_pages,
+                available_pages,
+            } => write!(
+                f,
+                "out of memory: requested {requested_pages} pages, {available_pages} available"
+            ),
+            ModelError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            ModelError::IntegrityViolation { line, level } => {
+                write!(f, "integrity violation at {line} (tree level {level})")
+            }
+            ModelError::NoSuchCore { core } => write!(f, "no such core: {core}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn error_is_send_sync() {
+        assert_send_sync::<ModelError>();
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = ModelError::PageFault {
+            va: VirtAddr::new(0x1000),
+        };
+        assert_eq!(e.to_string(), "page fault at va:0x1000");
+
+        let e = ModelError::IllegalInEnclave {
+            instruction: "rdtsc",
+        };
+        assert!(e.to_string().contains("rdtsc"));
+
+        let e = ModelError::OutOfMemory {
+            requested_pages: 10,
+            available_pages: 3,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('3'));
+
+        let e = ModelError::IntegrityViolation {
+            line: LineAddr::new(5),
+            level: 1,
+        };
+        assert!(e.to_string().contains("level 1"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(ModelError::NoSuchCore { core: 9 });
+        assert!(e.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,69 @@
+#![warn(missing_docs)]
+//! Shared primitive types for the MEE covert-channel simulator.
+//!
+//! This crate defines the vocabulary every other crate in the workspace
+//! speaks: strongly-typed addresses ([`VirtAddr`], [`PhysAddr`], [`LineAddr`],
+//! [`Vpn`], [`Ppn`]), simulated time ([`Cycles`]), the global timing
+//! calibration ([`TimingConfig`]), and the workspace error type
+//! ([`ModelError`]).
+//!
+//! Everything here is deliberately dependency-free so the substrate crates
+//! (`mee-cache`, `mee-mem`, `mee-tree`, …) can share it without pulling in
+//! anything else.
+//!
+//! # Example
+//!
+//! ```
+//! use mee_types::{VirtAddr, PAGE_SIZE, LINE_SIZE};
+//!
+//! let va = VirtAddr::new(0x7f00_1234);
+//! assert_eq!(va.page_offset(), 0x234);
+//! assert_eq!(va.align_down(LINE_SIZE).raw() % LINE_SIZE as u64, 0);
+//! assert_eq!(va.vpn().raw(), 0x7f00_1234 / PAGE_SIZE as u64);
+//! ```
+
+mod addr;
+mod cycles;
+mod error;
+mod timing;
+
+pub use addr::{LineAddr, PhysAddr, Ppn, VirtAddr, Vpn};
+pub use cycles::Cycles;
+pub use error::ModelError;
+pub use timing::TimingConfig;
+
+/// Size of a virtual-memory page in bytes (SGX enclaves only support 4 KiB
+/// pages — the paper's challenge 3).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Size of a cache line in bytes, for every cache in the model (L1/L2/LLC and
+/// the MEE cache; the MEE cache line size is published as 64 B).
+pub const LINE_SIZE: usize = 64;
+
+/// Number of cache lines in one 4 KiB page.
+pub const LINES_PER_PAGE: usize = PAGE_SIZE / LINE_SIZE;
+
+/// Size of the protected-data block covered by one 64 B versions line
+/// (8 × 56-bit counters, each guarding one 64 B line → 512 B).
+pub const VERSION_BLOCK_SIZE: usize = 512;
+
+/// Number of version blocks in one 4 KiB page (= version lines a page owns).
+pub const VERSION_BLOCKS_PER_PAGE: usize = PAGE_SIZE / VERSION_BLOCK_SIZE;
+
+/// Arity of the SGX-style integrity tree: one 64 B node line holds 8 counters,
+/// each covering one child line.
+pub const TREE_ARITY: usize = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(LINES_PER_PAGE, 64);
+        assert_eq!(VERSION_BLOCKS_PER_PAGE, 8);
+        assert_eq!(VERSION_BLOCK_SIZE, TREE_ARITY * LINE_SIZE);
+        assert!(PAGE_SIZE.is_power_of_two());
+        assert!(LINE_SIZE.is_power_of_two());
+    }
+}

@@ -1,0 +1,109 @@
+//! Cross-crate integration: the full attack pipeline, from a bare machine
+//! to decoded bits, exercised through the public facade only.
+
+use mee_covert::attack::channel::{random_bits, ChannelConfig, Session};
+use mee_covert::attack::recon::eviction::{eviction_test, find_eviction_set};
+use mee_covert::attack::setup::AttackSetup;
+use mee_covert::attack::threshold::LatencyClassifier;
+use mee_covert::prelude::*;
+
+#[test]
+fn full_pipeline_quiet() {
+    let mut setup = AttackSetup::quiet(1001).unwrap();
+
+    // Reverse engineering recovers the configured geometry.
+    let classifier = LatencyClassifier::from_timing(&setup.machine.config().timing);
+    let candidates = setup.trojan.candidates(160, 5);
+    let recon = {
+        let mut cpu = setup.trojan_handle();
+        find_eviction_set(&mut cpu, &candidates, &classifier, 3).unwrap()
+    };
+    assert_eq!(
+        recon.associativity(),
+        setup.machine.mee().cache().config().ways
+    );
+
+    // The channel built on that recon moves data faithfully.
+    let session = Session::establish(&mut setup, &ChannelConfig::default()).unwrap();
+    let payload = random_bits(64, 1001);
+    let out = session.transmit(&mut setup, &payload).unwrap();
+    assert_eq!(out.received, payload);
+}
+
+#[test]
+fn full_pipeline_noisy_stays_usable() {
+    let mut setup = AttackSetup::new(1002).unwrap();
+    let session = Session::establish(&mut setup, &ChannelConfig::default()).unwrap();
+    let payload = random_bits(384, 1002);
+    let out = session.transmit(&mut setup, &payload).unwrap();
+    assert!(
+        out.error_rate() < 0.06,
+        "noisy end-to-end error rate {} too high",
+        out.error_rate()
+    );
+    assert!((30.0..=40.0).contains(&out.kbps));
+}
+
+#[test]
+fn channel_works_across_many_seeds() {
+    // Robustness: the attack must not depend on a lucky seed.
+    let mut failures = 0;
+    for seed in 2000..2008 {
+        let mut setup = AttackSetup::new(seed).unwrap();
+        let session = match Session::establish(&mut setup, &ChannelConfig::default()) {
+            Ok(s) => s,
+            Err(_) => {
+                failures += 1;
+                continue;
+            }
+        };
+        let payload = random_bits(128, seed);
+        let out = session.transmit(&mut setup, &payload).unwrap();
+        if out.error_rate() > 0.08 {
+            failures += 1;
+        }
+    }
+    assert!(failures <= 1, "{failures}/8 seeds failed");
+}
+
+#[test]
+fn same_seed_reproduces_exactly() {
+    let run = |seed: u64| {
+        let mut setup = AttackSetup::new(seed).unwrap();
+        let session = Session::establish(&mut setup, &ChannelConfig::default()).unwrap();
+        let payload = random_bits(96, seed);
+        let out = session.transmit(&mut setup, &payload).unwrap();
+        (
+            session.eviction_set.clone(),
+            session.monitor,
+            out.received,
+            out.probe_times,
+        )
+    };
+    assert_eq!(run(77), run(77), "simulation is not deterministic");
+}
+
+#[test]
+fn eviction_test_is_usable_through_the_facade() {
+    let mut setup = AttackSetup::quiet(1003).unwrap();
+    let victim = setup.trojan.candidate(0, 0);
+    let mut cpu = setup.trojan_handle();
+    let t = eviction_test(&mut cpu, &[], victim).unwrap();
+    assert!(t > Cycles::ZERO);
+}
+
+#[test]
+fn channel_survives_a_different_agreed_offset() {
+    // §5.3: "any arbitrary index can be used".
+    for offset in [0usize, 7] {
+        let mut setup = AttackSetup::quiet(1004 + offset as u64).unwrap();
+        let cfg = ChannelConfig {
+            agreed_offset: offset,
+            ..ChannelConfig::default()
+        };
+        let session = Session::establish(&mut setup, &cfg).unwrap();
+        let payload = random_bits(32, offset as u64);
+        let out = session.transmit(&mut setup, &payload).unwrap();
+        assert_eq!(out.received, payload, "offset {offset} failed");
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based invariants of the machine model, driven by random
+//! instruction sequences across cores and processes.
+
+use mee_covert::machine::{CoreId, Machine, MachineConfig};
+use mee_covert::mem::AddressSpaceKind;
+use mee_covert::types::{Cycles, VirtAddr, PAGE_SIZE};
+use proptest::prelude::*;
+
+/// One randomly generated instruction.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Read { core: u8, proc: u8, page: u8, line: u8 },
+    Write { core: u8, proc: u8, page: u8, line: u8, value: u64 },
+    Flush { core: u8, proc: u8, page: u8, line: u8 },
+    Fence { core: u8 },
+    Advance { core: u8, cycles: u16 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(core, proc, page, line)| Op::Read { core, proc, page, line }),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>(), any::<u64>()).prop_map(
+            |(core, proc, page, line, value)| Op::Write { core, proc, page, line, value }
+        ),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(core, proc, page, line)| Op::Flush { core, proc, page, line }),
+        any::<u8>().prop_map(|core| Op::Fence { core }),
+        (any::<u8>(), any::<u16>()).prop_map(|(core, cycles)| Op::Advance { core, cycles }),
+    ]
+}
+
+const PAGES: usize = 16;
+
+fn build_machine() -> (Machine, Vec<mee_covert::machine::ProcId>, Vec<VirtAddr>) {
+    let mut m = Machine::new(MachineConfig::small()).unwrap();
+    let enclave = m.create_process(AddressSpaceKind::Enclave);
+    let regular = m.create_process(AddressSpaceKind::Regular);
+    let bases = vec![VirtAddr::new(0x100_0000), VirtAddr::new(0x200_0000)];
+    m.map_pages(enclave, bases[0], PAGES).unwrap();
+    m.map_pages(regular, bases[1], PAGES).unwrap();
+    (m, vec![enclave, regular], bases)
+}
+
+fn apply(m: &mut Machine, procs: &[mee_covert::machine::ProcId], bases: &[VirtAddr], op: Op) {
+    let core_of = |c: u8| CoreId::new(c as usize % m_cores());
+    fn m_cores() -> usize {
+        4
+    }
+    let va = |proc: u8, page: u8, line: u8| {
+        let p = proc as usize % 2;
+        bases[p] + (page as usize % PAGES * PAGE_SIZE + (line as usize % 64) * 64) as u64
+    };
+    match op {
+        Op::Read { core, proc, page, line } => {
+            let p = procs[proc as usize % 2];
+            m.read(core_of(core), p, va(proc, page, line)).unwrap();
+        }
+        Op::Write { core, proc, page, line, value } => {
+            let p = procs[proc as usize % 2];
+            m.write(core_of(core), p, va(proc, page, line), value).unwrap();
+        }
+        Op::Flush { core, proc, page, line } => {
+            let p = procs[proc as usize % 2];
+            m.clflush(core_of(core), p, va(proc, page, line)).unwrap();
+        }
+        Op::Fence { core } => {
+            m.mfence(core_of(core));
+        }
+        Op::Advance { core, cycles } => {
+            m.advance(core_of(core), Cycles::new(cycles as u64));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After any instruction sequence: the LLC remains inclusive of every
+    /// private cache, and no integrity-tree line ever appears on-chip.
+    #[test]
+    fn hierarchy_invariants_hold(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let (mut m, procs, bases) = build_machine();
+        for (i, &op) in ops.iter().enumerate() {
+            apply(&mut m, &procs, &bases, op);
+            if let Some((core, line)) = m.check_inclusion() {
+                prop_assert!(false, "inclusion violated after op {i}: {core} holds {line} not in LLC");
+            }
+            if let Some(line) = m.check_no_tree_lines_on_chip() {
+                prop_assert!(false, "tree line {line} leaked on-chip after op {i}");
+            }
+        }
+    }
+
+    /// Functional correctness under random interleavings: the last write to
+    /// each location always wins, for enclave and regular memory alike.
+    #[test]
+    fn last_write_wins(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let (mut m, procs, bases) = build_machine();
+        let mut shadow = std::collections::HashMap::new();
+        for &op in &ops {
+            apply(&mut m, &procs, &bases, op);
+            if let Op::Write { proc, page, line, value, .. } = op {
+                // Writes to the same physical line via the same VA.
+                let p = proc as usize % 2;
+                let key = (p, page as usize % PAGES, line as usize % 64);
+                shadow.insert(key, value);
+            }
+        }
+        for ((p, page, line), value) in shadow {
+            let va = bases[p] + (page * PAGE_SIZE + line * 64) as u64;
+            let (_, got) = m.read_value(CoreId::new(0), procs[p], va).unwrap();
+            prop_assert_eq!(got, value, "wrong value at proc {} page {} line {}", p, page, line);
+        }
+    }
+
+    /// Clocks are monotone: no instruction may move a core's clock backward.
+    #[test]
+    fn clocks_are_monotone(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let (mut m, procs, bases) = build_machine();
+        let mut last = [Cycles::ZERO; 4];
+        for &op in &ops {
+            apply(&mut m, &procs, &bases, op);
+            for (c, prev) in last.iter_mut().enumerate() {
+                let now = m.core_now(CoreId::new(c));
+                prop_assert!(now >= *prev, "core {c} clock went backward");
+                *prev = now;
+            }
+        }
+    }
+
+    /// Determinism: the same op sequence on two machines yields identical
+    /// clocks, cache stats, and MEE stats.
+    #[test]
+    fn machines_are_deterministic(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+        let (mut a, procs_a, bases_a) = build_machine();
+        let (mut b, procs_b, bases_b) = build_machine();
+        for &op in &ops {
+            apply(&mut a, &procs_a, &bases_a, op);
+            apply(&mut b, &procs_b, &bases_b, op);
+        }
+        for c in 0..4 {
+            prop_assert_eq!(a.core_now(CoreId::new(c)), b.core_now(CoreId::new(c)));
+        }
+        prop_assert_eq!(a.llc().stats(), b.llc().stats());
+        prop_assert_eq!(a.mee().stats(), b.mee().stats());
+        prop_assert_eq!(a.mee().cache().occupancy(), b.mee().cache().occupancy());
+    }
+}
