@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification, exactly as the driver runs it. The workspace is
+# hermetic (path-only dependencies), so every step runs --offline: a
+# reappearing registry dependency fails here instead of at first use on an
+# air-gapped machine.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --all-targets --offline -- -D warnings

@@ -1,0 +1,76 @@
+//! Micro-benchmarks at the attack level: channel establishment and
+//! transmission, one per *figure-generating* code path, so regressions in
+//! the expensive experiment drivers are caught early.
+//!
+//! One JSON line per benchmark on stdout. Replaces the former criterion
+//! `channel` bench with the in-tree harness so the suite builds offline.
+
+use mee_attack::channel::{random_bits, ChannelConfig, Session};
+use mee_attack::recon::capacity::eviction_trial;
+use mee_attack::recon::eviction::find_eviction_set;
+use mee_attack::setup::AttackSetup;
+use mee_attack::threshold::LatencyClassifier;
+use mee_bench::harness::Bench;
+
+fn bench_algorithm1() {
+    Bench::new("recon/algorithm1_find_eviction_set")
+        .samples(10)
+        .run_batched(
+            || AttackSetup::quiet(11).unwrap(),
+            |mut setup| {
+                let cls = LatencyClassifier::from_timing(&setup.machine.config().timing);
+                let candidates = setup.trojan.candidates(96, 0);
+                let mut cpu = setup.trojan_handle();
+                find_eviction_set(&mut cpu, &candidates, &cls, 1).unwrap()
+            },
+        )
+        .emit();
+}
+
+fn bench_capacity_trial() {
+    Bench::new("recon/capacity_trial_k64")
+        .samples(10)
+        .run_batched(
+            || AttackSetup::quiet(12).unwrap(),
+            |mut setup| {
+                let cls = LatencyClassifier::from_timing(&setup.machine.config().timing);
+                eviction_trial(&mut setup, 64, 0, &cls).unwrap()
+            },
+        )
+        .emit();
+}
+
+fn bench_establish() {
+    Bench::new("channel/establish")
+        .samples(10)
+        .run_batched(
+            || AttackSetup::quiet(13).unwrap(),
+            |mut setup| Session::establish(&mut setup, &ChannelConfig::default()).unwrap(),
+        )
+        .emit();
+}
+
+fn bench_transmit() {
+    let bits = 128usize;
+    Bench::new("channel/transmit_128_bits")
+        .samples(10)
+        .run_batched(
+            || {
+                let mut setup = AttackSetup::quiet(14).unwrap();
+                let session = Session::establish(&mut setup, &ChannelConfig::default()).unwrap();
+                (setup, session)
+            },
+            |(mut setup, session)| {
+                let payload = random_bits(bits, 14);
+                session.transmit(&mut setup, &payload).unwrap()
+            },
+        )
+        .emit();
+}
+
+fn main() {
+    bench_algorithm1();
+    bench_capacity_trial();
+    bench_establish();
+    bench_transmit();
+}

@@ -1,0 +1,97 @@
+//! Micro-benchmarks for the simulator substrate: how fast the model
+//! itself runs (simulated cycles are free; host time is not).
+//!
+//! One JSON line per benchmark on stdout. Replaces the former criterion
+//! `simulator` bench with the in-tree harness so the suite builds
+//! offline.
+
+use mee_bench::harness::Bench;
+use mee_cache::policy::{TreePlru, TrueLru};
+use mee_cache::{CacheConfig, ReplacementPolicy, SetAssocCache};
+use mee_engine::Mee;
+use mee_machine::{CoreId, Machine, MachineConfig};
+use mee_mem::{AddressSpaceKind, DramConfig, DramModel, PhysLayout};
+use mee_tree::TreeGeometry;
+use mee_types::{Cycles, LineAddr, TimingConfig, VirtAddr, PAGE_SIZE};
+
+fn bench_cache() {
+    let cfg = CacheConfig::from_capacity(64 * 1024, 8, 64).unwrap();
+    for (name, policy) in [
+        ("cache/access_plru", Box::new(TreePlru::new()) as Box<dyn ReplacementPolicy>),
+        ("cache/access_lru", Box::new(TrueLru::new())),
+    ] {
+        let mut cache = SetAssocCache::new(cfg, policy);
+        let mut i = 0u64;
+        Bench::new(name).inner(4096).run(|| {
+            i = i.wrapping_add(97);
+            cache.access(LineAddr::new(i % 4096))
+        }).emit();
+    }
+}
+
+fn bench_dram() {
+    let mut dram = DramModel::new(DramConfig::default()).unwrap();
+    let mut i = 0u64;
+    Bench::new("dram/access").inner(4096).run(|| {
+        i = i.wrapping_add(513);
+        dram.access(LineAddr::new(i % (1 << 20)))
+    }).emit();
+}
+
+fn bench_mee_walk() {
+    let layout = PhysLayout::new(1 << 20, 16 << 20).unwrap();
+    let geo = TreeGeometry::new(layout.prm_data(), layout.prm_tree()).unwrap();
+    let mut dram = DramModel::new(DramConfig::default()).unwrap();
+    let mut mee = Mee::new(
+        geo,
+        1,
+        CacheConfig::from_capacity(64 * 1024, 8, 64).unwrap(),
+        Box::new(TreePlru::new()),
+        TimingConfig::default(),
+    );
+    let base = layout.prm_data().base().line().raw();
+    let lines = layout.prm_data().size() / 64;
+    let mut i = 0u64;
+    let mut clock = 0u64;
+    Bench::new("mee/protected_read_walk").inner(1024).run(|| {
+        i = i.wrapping_add(61);
+        clock += 1_000_000;
+        mee.read(
+            LineAddr::new(base + (i * 64) % lines),
+            Cycles::new(clock),
+            &mut dram,
+        )
+        .unwrap()
+    }).emit();
+}
+
+fn bench_machine_ops() {
+    Bench::new("machine/enclave_read_flush_cycle").run_batched(
+        || {
+            let mut m = Machine::new(MachineConfig::small()).unwrap();
+            let p = m.create_process(AddressSpaceKind::Enclave);
+            let base = VirtAddr::new(0x10_0000);
+            m.map_pages(p, base, 32).unwrap();
+            (m, p, base)
+        },
+        |(mut m, p, base)| {
+            let core = CoreId::new(0);
+            for i in 0..32u64 {
+                let va = base + i * PAGE_SIZE as u64;
+                m.read(core, p, va).unwrap();
+                m.clflush(core, p, va).unwrap();
+            }
+            m
+        },
+    ).emit();
+    Bench::new("machine/construction_small")
+        .run(|| Machine::new(MachineConfig::small()).unwrap())
+        .emit();
+}
+
+fn main() {
+    bench_cache();
+    bench_dram();
+    bench_mee_walk();
+    bench_machine_ops();
+}

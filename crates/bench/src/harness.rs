@@ -1,0 +1,239 @@
+//! A zero-dependency micro-benchmark harness.
+//!
+//! Replaces the registry-provided criterion benches with the minimum that
+//! the perf trajectory actually needs: warmup, a fixed number of timed
+//! samples, robust order statistics (median / p95 of the per-operation
+//! nanoseconds), and one JSON object per line on stdout so results can be
+//! appended to a `BENCH_*.json` trajectory and diffed across commits.
+//!
+//! Two measurement shapes cover every benchmark in the workspace:
+//!
+//! * [`Bench::run`] — a hot operation cheap enough to repeat inside a
+//!   batch; each sample times `inner` back-to-back calls and divides.
+//! * [`Bench::run_batched`] — an operation that consumes fresh state
+//!   (e.g. a whole channel establishment); setup runs outside the timed
+//!   region and each sample times exactly one call.
+//!
+//! Env knob: `MEE_BENCH_SAMPLES` overrides the sample count of every
+//! benchmark (useful for quick smoke runs: `MEE_BENCH_SAMPLES=3`).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Configuration for one benchmark: name, warmup, samples, batch size.
+#[derive(Debug, Clone)]
+pub struct Bench {
+    name: String,
+    warmup_iters: u64,
+    samples: usize,
+    inner: u64,
+}
+
+impl Bench {
+    /// A benchmark named `name` with harness defaults (16 warmup
+    /// iterations, 50 samples, 1 operation per sample).
+    pub fn new(name: impl Into<String>) -> Self {
+        let samples = std::env::var("MEE_BENCH_SAMPLES")
+            .ok()
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    panic!("MEE_BENCH_SAMPLES must be a positive integer, got {v:?}")
+                })
+            })
+            .unwrap_or(50);
+        Bench {
+            name: name.into(),
+            warmup_iters: 16,
+            samples,
+            inner: 1,
+        }
+    }
+
+    /// Sets the number of warmup iterations (untimed).
+    pub fn warmup(mut self, iters: u64) -> Self {
+        self.warmup_iters = iters;
+        self
+    }
+
+    /// Sets the number of timed samples.
+    ///
+    /// `MEE_BENCH_SAMPLES` still takes precedence so one env var can
+    /// shrink a whole suite.
+    pub fn samples(mut self, samples: usize) -> Self {
+        if std::env::var("MEE_BENCH_SAMPLES").is_err() {
+            self.samples = samples;
+        }
+        self
+    }
+
+    /// Sets how many operations each sample batches together — use a
+    /// large value for nanosecond-scale operations so clock granularity
+    /// does not dominate.
+    pub fn inner(mut self, inner: u64) -> Self {
+        assert!(inner > 0, "inner batch size must be positive");
+        self.inner = inner;
+        self
+    }
+
+    /// Benchmarks a repeatable hot operation. Each sample times `inner`
+    /// calls of `op` back to back and records the mean per-call time.
+    pub fn run<R>(self, mut op: impl FnMut() -> R) -> Report {
+        for _ in 0..self.warmup_iters {
+            black_box(op());
+        }
+        let mut per_op_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.inner {
+                black_box(op());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            per_op_ns.push(elapsed / self.inner as f64);
+        }
+        Report::from_samples(self.name, self.inner * self.samples as u64, per_op_ns)
+    }
+
+    /// Benchmarks an operation that consumes fresh state. `setup` runs
+    /// untimed before every sample (and before every warmup iteration);
+    /// each sample times exactly one `op(state)` call.
+    pub fn run_batched<S, R>(
+        self,
+        mut setup: impl FnMut() -> S,
+        mut op: impl FnMut(S) -> R,
+    ) -> Report {
+        for _ in 0..self.warmup_iters.min(2) {
+            let s = setup();
+            black_box(op(s));
+        }
+        let mut per_op_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let s = setup();
+            let start = Instant::now();
+            black_box(op(s));
+            per_op_ns.push(start.elapsed().as_nanos() as f64);
+        }
+        Report::from_samples(self.name, self.samples as u64, per_op_ns)
+    }
+}
+
+/// Summary statistics of one benchmark, in nanoseconds per operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Benchmark name (`group/case`).
+    pub name: String,
+    /// Total timed operations across all samples.
+    pub iters: u64,
+    /// Minimum per-operation time.
+    pub min_ns: f64,
+    /// Arithmetic mean per-operation time.
+    pub mean_ns: f64,
+    /// Median (p50) per-operation time.
+    pub median_ns: f64,
+    /// 95th-percentile per-operation time.
+    pub p95_ns: f64,
+}
+
+impl Report {
+    fn from_samples(name: String, iters: u64, mut ns: Vec<f64>) -> Self {
+        assert!(!ns.is_empty(), "benchmark produced no samples");
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let min_ns = ns[0];
+        let mean_ns = ns.iter().sum::<f64>() / ns.len() as f64;
+        Report {
+            name,
+            iters,
+            min_ns,
+            mean_ns,
+            median_ns: percentile(&ns, 50.0),
+            p95_ns: percentile(&ns, 95.0),
+        }
+    }
+
+    /// The result as one JSON object (no trailing newline), e.g.
+    /// `{"name":"cache/access_plru","iters":50000,"min_ns":8.1,...}`.
+    pub fn json_line(&self) -> String {
+        format!(
+            "{{\"name\":{:?},\"iters\":{},\"min_ns\":{:.1},\"mean_ns\":{:.1},\"median_ns\":{:.1},\"p95_ns\":{:.1}}}",
+            self.name, self.iters, self.min_ns, self.mean_ns, self.median_ns, self.p95_ns
+        )
+    }
+
+    /// Prints the JSON line to stdout and returns `self` for chaining.
+    pub fn emit(self) -> Self {
+        println!("{}", self.json_line());
+        self
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_reports_sane_statistics() {
+        let r = Bench::new("test/spin")
+            .warmup(2)
+            .samples(20)
+            .inner(100)
+            .run(|| std::hint::black_box(3u64).wrapping_mul(7));
+        assert_eq!(r.iters, 2000);
+        assert!(r.min_ns >= 0.0);
+        assert!(r.median_ns >= r.min_ns);
+        assert!(r.p95_ns >= r.median_ns);
+        assert!(r.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn run_batched_excludes_setup() {
+        // Setup is vastly more expensive than the op; if it leaked into
+        // the timed region the per-op time would exceed 1ms.
+        let r = Bench::new("test/batched").samples(5).run_batched(
+            || {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                42u64
+            },
+            |x| x + 1,
+        );
+        assert!(
+            r.median_ns < 1_000_000.0,
+            "setup leaked into timing: {} ns",
+            r.median_ns
+        );
+    }
+
+    #[test]
+    fn json_line_shape() {
+        let r = Report {
+            name: "group/case".into(),
+            iters: 10,
+            min_ns: 1.04,
+            mean_ns: 2.0,
+            median_ns: 1.96,
+            p95_ns: 3.0,
+        };
+        assert_eq!(
+            r.json_line(),
+            "{\"name\":\"group/case\",\"iters\":10,\"min_ns\":1.0,\"mean_ns\":2.0,\"median_ns\":2.0,\"p95_ns\":3.0}"
+        );
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 100.0), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_inner_rejected() {
+        let _ = Bench::new("bad").inner(0);
+    }
+}

@@ -1,11 +1,24 @@
 #![warn(missing_docs)]
-//! Shared plumbing for the figure-regeneration binaries.
+//! Shared plumbing for the figure-regeneration binaries and the in-tree
+//! micro-benchmark harness.
 //!
 //! Every binary accepts `[seed] [scale]` positional arguments:
 //!
-//! * `seed` (default 2019) — all machine RNGs derive from it;
+//! * `seed` (default 2019, the paper's year) — all machine RNGs derive
+//!   from it;
 //! * `scale` (default 1) — multiplies trial counts / payload sizes, so
 //!   `cargo run -p mee-bench --bin fig7 -- 7 4` runs a 4× heavier sweep.
+//!
+//! Malformed arguments are hard errors: a typo'd sweep must never
+//! masquerade as the default run.
+//!
+//! The [`harness`] module replaces the previous registry-provided
+//! criterion benches with a zero-dependency measurement loop (warmup +
+//! timed samples, median/p95 in nanoseconds, one JSON line per benchmark
+//! on stdout). Run it with `cargo run --release -p mee-bench --bin
+//! bench-simulator` / `--bin bench-channel`.
+
+pub mod harness;
 
 /// Parsed command-line arguments for a figure binary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -15,6 +28,27 @@ pub struct HarnessArgs {
     /// Work multiplier (≥ 1).
     pub scale: usize,
 }
+
+/// A rejected command-line argument: which position, and the bad value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError {
+    /// Name of the argument that failed to parse (`seed` or `scale`).
+    pub arg: &'static str,
+    /// The offending raw value.
+    pub value: String,
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid {} argument {:?} (usage: [seed:u64] [scale:usize>=1])",
+            self.arg, self.value
+        )
+    }
+}
+
+impl std::error::Error for ArgError {}
 
 impl Default for HarnessArgs {
     fn default() -> Self {
@@ -27,26 +61,48 @@ impl Default for HarnessArgs {
 
 impl HarnessArgs {
     /// Parses `[seed] [scale]` from an iterator of arguments (typically
-    /// `std::env::args().skip(1)`); malformed values fall back to defaults.
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+    /// `std::env::args().skip(1)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArgError`] naming the offending argument when `seed`
+    /// is not a `u64` or `scale` is not a positive integer. Omitted
+    /// arguments take their defaults.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
         let mut out = HarnessArgs::default();
         let mut it = args.into_iter();
         if let Some(s) = it.next() {
-            if let Ok(seed) = s.parse() {
-                out.seed = seed;
-            }
+            out.seed = s.parse().map_err(|_| ArgError {
+                arg: "seed",
+                value: s,
+            })?;
         }
         if let Some(s) = it.next() {
-            if let Ok(scale) = s.parse::<usize>() {
-                out.scale = scale.max(1);
+            let scale: usize = s.parse().map_err(|_| ArgError {
+                arg: "scale",
+                value: s.clone(),
+            })?;
+            if scale == 0 {
+                return Err(ArgError {
+                    arg: "scale",
+                    value: s,
+                });
             }
+            out.scale = scale;
         }
-        out
+        Ok(out)
     }
 
-    /// Parses from the process arguments.
+    /// Parses from the process arguments, exiting with a message on
+    /// stderr (status 2) if they are malformed.
     pub fn from_env() -> Self {
-        Self::parse(std::env::args().skip(1))
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
     }
 }
 
@@ -56,20 +112,48 @@ mod tests {
 
     #[test]
     fn defaults() {
-        let a = HarnessArgs::parse(Vec::<String>::new());
+        let a = HarnessArgs::parse(Vec::<String>::new()).unwrap();
         assert_eq!(a, HarnessArgs { seed: 2019, scale: 1 });
     }
 
     #[test]
     fn parses_seed_and_scale() {
-        let a = HarnessArgs::parse(vec!["7".into(), "3".into()]);
+        let a = HarnessArgs::parse(vec!["7".into(), "3".into()]).unwrap();
         assert_eq!(a, HarnessArgs { seed: 7, scale: 3 });
     }
 
     #[test]
-    fn malformed_values_fall_back() {
-        let a = HarnessArgs::parse(vec!["x".into(), "0".into()]);
-        assert_eq!(a.seed, 2019);
-        assert_eq!(a.scale, 1);
+    fn seed_alone_is_accepted() {
+        let a = HarnessArgs::parse(vec!["99".into()]).unwrap();
+        assert_eq!(a, HarnessArgs { seed: 99, scale: 1 });
+    }
+
+    #[test]
+    fn malformed_seed_is_an_error() {
+        let e = HarnessArgs::parse(vec!["x".into()]).unwrap_err();
+        assert_eq!(e.arg, "seed");
+        assert_eq!(e.value, "x");
+        assert!(e.to_string().contains("seed"));
+    }
+
+    #[test]
+    fn malformed_scale_is_an_error() {
+        let e = HarnessArgs::parse(vec!["7".into(), "wide".into()]).unwrap_err();
+        assert_eq!(e.arg, "scale");
+        assert_eq!(e.value, "wide");
+    }
+
+    #[test]
+    fn zero_scale_is_an_error() {
+        // Previously clamped to 1 silently; a zero-work sweep is a typo.
+        let e = HarnessArgs::parse(vec!["7".into(), "0".into()]).unwrap_err();
+        assert_eq!(e.arg, "scale");
+        assert_eq!(e.value, "0");
+    }
+
+    #[test]
+    fn negative_seed_is_an_error() {
+        let e = HarnessArgs::parse(vec!["-3".into()]).unwrap_err();
+        assert_eq!(e.arg, "seed");
     }
 }

@@ -273,7 +273,7 @@ impl SetAssocCache {
 mod tests {
     use super::*;
     use crate::policy::{TreePlru, TrueLru};
-    use proptest::prelude::*;
+    use mee_rng::prop::{check, pick, vec_of, PropConfig};
 
     fn small_lru() -> SetAssocCache {
         let cfg = CacheConfig::from_capacity(4 * 64, 2, 64).unwrap(); // 2 sets x 2 ways
@@ -426,55 +426,68 @@ mod tests {
         assert_eq!(c.occupancy(), 1024);
     }
 
-    proptest! {
-        /// Occupancy never exceeds capacity and a just-accessed line is
-        /// always resident afterwards.
-        #[test]
-        fn occupancy_bounded_and_mru_resident(
-            accesses in proptest::collection::vec(0u64..512, 1..400),
-            ways in prop::sample::select(vec![1usize, 2, 4, 8]),
-        ) {
-            let cfg = CacheConfig::from_capacity(16 * ways * 64, ways, 64).unwrap();
-            let mut c = SetAssocCache::new(cfg, Box::new(TreePlru::new()));
-            for &a in &accesses {
-                let line = LineAddr::new(a);
-                c.access(line);
-                prop_assert!(c.contains(line));
-                prop_assert!(c.occupancy() <= cfg.sets * cfg.ways);
-                for s in 0..cfg.sets {
-                    prop_assert!(c.set_occupancy(s) <= cfg.ways);
+    /// Occupancy never exceeds capacity and a just-accessed line is
+    /// always resident afterwards.
+    #[test]
+    fn occupancy_bounded_and_mru_resident() {
+        check(
+            "occupancy_bounded_and_mru_resident",
+            &PropConfig::from_env(64),
+            |rng| {
+                let accesses = vec_of(rng, 1..400, |r| r.random_range(0u64..512));
+                let ways = pick(rng, &[1usize, 2, 4, 8]);
+                let cfg = CacheConfig::from_capacity(16 * ways * 64, ways, 64).unwrap();
+                let mut c = SetAssocCache::new(cfg, Box::new(TreePlru::new()));
+                for &a in &accesses {
+                    let line = LineAddr::new(a);
+                    c.access(line);
+                    assert!(c.contains(line));
+                    assert!(c.occupancy() <= cfg.sets * cfg.ways);
+                    for s in 0..cfg.sets {
+                        assert!(c.set_occupancy(s) <= cfg.ways);
+                    }
                 }
-            }
-        }
+            },
+        );
+    }
 
-        /// Stats identity: accesses = hits + misses; evictions <= misses.
-        #[test]
-        fn stats_identities(accesses in proptest::collection::vec(0u64..256, 1..300)) {
+    /// Stats identity: accesses = hits + misses; evictions <= misses.
+    #[test]
+    fn stats_identities() {
+        check("stats_identities", &PropConfig::from_env(64), |rng| {
+            let accesses = vec_of(rng, 1..300, |r| r.random_range(0u64..256));
             let cfg = CacheConfig::from_capacity(4 * 1024, 4, 64).unwrap();
             let mut c = SetAssocCache::new(cfg, Box::new(TrueLru::new()));
             for &a in &accesses {
                 c.access(LineAddr::new(a));
             }
             let s = c.stats();
-            prop_assert_eq!(s.accesses(), accesses.len() as u64);
-            prop_assert!(s.evictions <= s.misses);
-        }
+            assert_eq!(s.accesses(), accesses.len() as u64);
+            assert!(s.evictions <= s.misses);
+        });
+    }
 
-        /// A line in a different set is never evicted by a fill.
-        #[test]
-        fn fills_only_evict_within_their_set(seed in 0u64..1000) {
-            let cfg = CacheConfig::from_capacity(2 * 2 * 64, 2, 64).unwrap(); // 2 sets
-            let mut c = SetAssocCache::new(cfg, Box::new(TrueLru::new()));
-            let other_set = LineAddr::new(1); // set 1
-            c.access(other_set);
-            // Hammer set 0.
-            for i in 0..8 {
-                let r = c.access(LineAddr::new((seed % 7 + 1) * 2 + i * 2));
-                if let Some(e) = r.evicted {
-                    prop_assert_eq!(e.set_index(2), 0);
+    /// A line in a different set is never evicted by a fill.
+    #[test]
+    fn fills_only_evict_within_their_set() {
+        check(
+            "fills_only_evict_within_their_set",
+            &PropConfig::from_env(64),
+            |rng| {
+                let seed = rng.random_range(0u64..1000);
+                let cfg = CacheConfig::from_capacity(2 * 2 * 64, 2, 64).unwrap(); // 2 sets
+                let mut c = SetAssocCache::new(cfg, Box::new(TrueLru::new()));
+                let other_set = LineAddr::new(1); // set 1
+                c.access(other_set);
+                // Hammer set 0.
+                for i in 0..8 {
+                    let r = c.access(LineAddr::new((seed % 7 + 1) * 2 + i * 2));
+                    if let Some(e) = r.evicted {
+                        assert_eq!(e.set_index(2), 0);
+                    }
                 }
-            }
-            prop_assert!(c.contains(other_set));
-        }
+                assert!(c.contains(other_set));
+            },
+        );
     }
 }

@@ -6,8 +6,7 @@
 //! around that; [`TreePlru`] is the canonical approximate-LRU hardware
 //! policy and the default for the simulated MEE cache.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mee_rng::Rng;
 
 /// Chooses victims within one cache set.
 ///
@@ -352,7 +351,7 @@ impl ReplacementPolicy for Srrip {
 /// Uniform-random eviction, seeded for determinism.
 #[derive(Debug)]
 pub struct RandomEviction {
-    rng: StdRng,
+    rng: Rng,
     ways: usize,
 }
 
@@ -360,7 +359,7 @@ impl RandomEviction {
     /// Creates a random-eviction policy with the given RNG seed.
     pub fn with_seed(seed: u64) -> Self {
         RandomEviction {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             ways: 0,
         }
     }

@@ -84,7 +84,7 @@ pub fn deframe(received: &[bool], data_len: usize, search: usize) -> Option<Vec<
 mod tests {
     use super::*;
     use crate::channel::message::random_bits;
-    use proptest::prelude::*;
+    use mee_rng::prop::{check, vec_of, PropConfig};
 
     #[test]
     fn roundtrip_without_errors() {
@@ -140,22 +140,25 @@ mod tests {
         assert_eq!(hamming_decode(&coded, 10), data);
     }
 
-    proptest! {
-        /// Round-trip with at most one flipped bit per 7-bit block always
-        /// recovers the payload.
-        #[test]
-        fn single_error_per_block_always_corrected(
-            data in proptest::collection::vec(any::<bool>(), 4..60),
-            flips in proptest::collection::vec(0usize..7, 0..15),
-        ) {
-            let coded = hamming_encode(&data);
-            let mut corrupted = coded.clone();
-            let blocks = coded.len() / 7;
-            for (block, &offset) in flips.iter().enumerate().take(blocks) {
-                let pos = block * 7 + offset;
-                corrupted[pos] = !corrupted[pos];
-            }
-            prop_assert_eq!(hamming_decode(&corrupted, data.len()), data);
-        }
+    /// Round-trip with at most one flipped bit per 7-bit block always
+    /// recovers the payload.
+    #[test]
+    fn single_error_per_block_always_corrected() {
+        check(
+            "single_error_per_block_always_corrected",
+            &PropConfig::from_env(256),
+            |rng| {
+                let data = vec_of(rng, 4..60, |r| r.random::<bool>());
+                let flips = vec_of(rng, 0..15, |r| r.random_range(0usize..7));
+                let coded = hamming_encode(&data);
+                let mut corrupted = coded.clone();
+                let blocks = coded.len() / 7;
+                for (block, &offset) in flips.iter().enumerate().take(blocks) {
+                    let pos = block * 7 + offset;
+                    corrupted[pos] = !corrupted[pos];
+                }
+                assert_eq!(hamming_decode(&corrupted, data.len()), data);
+            },
+        );
     }
 }

@@ -1,7 +1,6 @@
 //! Bit patterns and error accounting.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mee_rng::Rng;
 
 /// The `010101…` pattern of Figure 6.
 pub fn alternating_bits(len: usize) -> Vec<bool> {
@@ -15,7 +14,7 @@ pub fn paper_100_pattern(len: usize) -> Vec<bool> {
 
 /// Seeded uniform random payload (for bit-rate / error-rate sweeps).
 pub fn random_bits(len: usize, seed: u64) -> Vec<bool> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..len).map(|_| rng.random::<bool>()).collect()
 }
 

@@ -375,22 +375,35 @@ mod tests {
 
     #[test]
     fn baseline_is_much_worse_than_the_papers_channel_under_noise() {
-        let seed = 82;
+        // Pooled over several seeds: per-seed error rates at this payload
+        // size fluctuate enough that a single lucky P+P run can close the
+        // gap (the noise streams occasionally miss the probed set), but the
+        // qualitative claim — the LLC baseline is clearly noisier than the
+        // MEE-cache channel — must hold in aggregate on every seed set.
         let bits = alternating_bits(96);
+        let mut pp_errors = 0usize;
+        let mut ours_errors = 0usize;
+        let mut total = 0usize;
+        for seed in [1u64, 82, 103, 2019] {
+            let mut setup = AttackSetup::new(seed).unwrap();
+            let pp = PrimeProbeSession::establish(&mut setup, &ChannelConfig::default()).unwrap();
+            let pp_out = pp.transmit(&mut setup, &bits).unwrap();
 
-        let mut setup = AttackSetup::new(seed).unwrap();
-        let pp = PrimeProbeSession::establish(&mut setup, &ChannelConfig::default()).unwrap();
-        let pp_out = pp.transmit(&mut setup, &bits).unwrap();
+            let mut setup2 = AttackSetup::new(seed + 1).unwrap();
+            let ours = Session::establish(&mut setup2, &ChannelConfig::default()).unwrap();
+            let ours_out = ours.transmit(&mut setup2, &bits).unwrap();
 
-        let mut setup2 = AttackSetup::new(seed + 1).unwrap();
-        let ours = Session::establish(&mut setup2, &ChannelConfig::default()).unwrap();
-        let ours_out = ours.transmit(&mut setup2, &bits).unwrap();
-
+            pp_errors += pp_out.errors.count();
+            ours_errors += ours_out.errors.count();
+            total += bits.len();
+        }
+        let pp_rate = pp_errors as f64 / total as f64;
+        let ours_rate = ours_errors as f64 / total as f64;
         assert!(
-            pp_out.errors.rate() > ours_out.errors.rate() + 0.05,
+            pp_rate > ours_rate + 0.05,
             "Prime+Probe ({:.1}%) should be clearly worse than the MEE channel ({:.1}%)",
-            pp_out.errors.rate() * 100.0,
-            ours_out.errors.rate() * 100.0
+            pp_rate * 100.0,
+            ours_rate * 100.0
         );
     }
 }

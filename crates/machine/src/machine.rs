@@ -11,8 +11,7 @@ use mee_mem::{
 };
 use mee_tree::TreeGeometry;
 use mee_types::{Cycles, LineAddr, ModelError, PhysAddr, VirtAddr, PAGE_SIZE};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mee_rng::{stream_seed, Rng};
 use std::collections::HashMap;
 
 use crate::config::MachineConfig;
@@ -85,7 +84,7 @@ pub struct Machine {
     /// Functional store for general-region lines (protected lines live in
     /// the integrity tree).
     general_store: HashMap<LineAddr, u64>,
-    rng: StdRng,
+    rng: Rng,
     /// Where the MEE walk of the most recent memory op stopped (`None` if
     /// the op never reached the MEE).
     last_mee_hit: Option<mee_engine::HitLevel>,
@@ -129,24 +128,26 @@ impl Machine {
                     cfg.timing.stall_mean_interval,
                     cfg.timing.stall_min,
                     cfg.timing.stall_max,
-                    cfg.stall_seed.wrapping_add(i as u64),
+                    // Per-core sub-stream: adding a core never shifts the
+                    // noise seen by existing cores.
+                    stream_seed(cfg.stall_seed, i as u64),
                 ),
             })
             .collect();
         let general_alloc = FrameAllocator::new(
             layout.general(),
             PlacementPolicy::Randomized {
-                seed: cfg.alloc_seed,
+                seed: stream_seed(cfg.alloc_seed, 0),
             },
         );
         let prm_alloc = FrameAllocator::new(
             layout.prm_data(),
             PlacementPolicy::Randomized {
-                seed: cfg.alloc_seed.wrapping_add(1),
+                seed: stream_seed(cfg.alloc_seed, 1),
             },
         );
         Ok(Machine {
-            rng: StdRng::seed_from_u64(cfg.alloc_seed.wrapping_add(2)),
+            rng: Rng::seed_from_u64(stream_seed(cfg.alloc_seed, 2)),
             cfg,
             layout,
             dram,

@@ -8,10 +8,8 @@
 //! white-box tests, and [`FrameAllocator::alloc_contiguous`] models the
 //! hugepage-backed allocations available *outside* enclaves (challenge 3).
 
+use mee_rng::Rng;
 use mee_types::{ModelError, Ppn};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 use crate::layout::Region;
 
@@ -39,7 +37,7 @@ pub struct FrameAllocator {
     /// RNG used by the randomized policy to scatter *reuse* as well as the
     /// initial order (a real OS hands back recycled frames in effectively
     /// random order, which the §4 statistics depend on).
-    rng: Option<StdRng>,
+    rng: Option<Rng>,
 }
 
 impl FrameAllocator {
@@ -49,8 +47,8 @@ impl FrameAllocator {
         let mut free: Vec<Ppn> = (first..first + region.pages()).map(Ppn::new).collect();
         let rng = match policy {
             PlacementPolicy::Randomized { seed } => {
-                let mut rng = StdRng::seed_from_u64(seed);
-                free.shuffle(&mut rng);
+                let mut rng = Rng::seed_from_u64(seed);
+                rng.shuffle(&mut free);
                 Some(rng)
             }
             PlacementPolicy::Sequential => {

@@ -6,14 +6,13 @@
 //! Both are modeled here with seeded RNGs so every experiment is exactly
 //! reproducible.
 
+use mee_rng::Rng;
 use mee_types::Cycles;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Seeded Gaussian jitter, sampled via Box–Muller and clamped to ±4σ.
 #[derive(Debug, Clone)]
 pub struct GaussianJitter {
-    rng: StdRng,
+    rng: Rng,
     std: f64,
     /// Second Box–Muller variate, cached.
     spare: Option<f64>,
@@ -28,7 +27,7 @@ impl GaussianJitter {
     pub fn new(std: f64, seed: u64) -> Self {
         assert!(std >= 0.0 && std.is_finite(), "jitter std must be >= 0");
         GaussianJitter {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             std,
             spare: None,
         }
@@ -69,7 +68,7 @@ impl GaussianJitter {
 /// `[min, max]` and stalls arrive with exponential inter-arrival times.
 #[derive(Debug, Clone)]
 pub struct StallGenerator {
-    rng: StdRng,
+    rng: Rng,
     mean_interval: u64,
     min: Cycles,
     max: Cycles,
@@ -85,7 +84,7 @@ impl StallGenerator {
     pub fn new(mean_interval: u64, min: Cycles, max: Cycles, seed: u64) -> Self {
         assert!(min <= max, "stall min must not exceed max");
         let mut g = StallGenerator {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             mean_interval,
             min,
             max,

@@ -1,0 +1,235 @@
+//! A seeded property-testing driver — the workspace's in-tree `proptest`
+//! replacement.
+//!
+//! Properties are plain closures over an [`Rng`]; the driver runs each one
+//! for a configurable number of deterministically seeded cases and, when a
+//! case panics, re-raises with the failing case seed and a one-line replay
+//! recipe. There is no shrinking: cases are small by construction (every
+//! generator in this workspace takes explicit bounds), and a failing seed
+//! replays exactly.
+//!
+//! ```
+//! use mee_rng::prop::{check, vec_of, PropConfig};
+//!
+//! check("sorting is idempotent", &PropConfig::from_env(32), |rng| {
+//!     let mut v = vec_of(rng, 0..20, |r| r.random_range(0u64..100));
+//!     v.sort_unstable();
+//!     let once = v.clone();
+//!     v.sort_unstable();
+//!     assert_eq!(v, once);
+//! });
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `MEE_PROP_CASES` — overrides the case count of every property (e.g.
+//!   `MEE_PROP_CASES=1000 cargo test` for a heavier run);
+//! * `MEE_PROP_SEED` — replays exactly one case with the given RNG seed
+//!   (printed by a failure report).
+
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::{splitmix64, stream_seed, Rng};
+
+/// Base seed from which per-case seeds are derived (the paper's year, like
+/// every other default seed in the workspace).
+pub const DEFAULT_SEED: u64 = 2019;
+
+/// How a property is exercised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PropConfig {
+    /// Number of generated cases.
+    pub cases: u32,
+    /// Base seed; per-case seeds are split from it.
+    pub seed: u64,
+    /// When set, run exactly one case with this RNG seed (replay mode).
+    pub replay: Option<u64>,
+}
+
+impl PropConfig {
+    /// A config with `cases` cases and the default seed.
+    pub fn new(cases: u32) -> Self {
+        PropConfig {
+            cases,
+            seed: DEFAULT_SEED,
+            replay: None,
+        }
+    }
+
+    /// Like [`PropConfig::new`], but honouring `MEE_PROP_CASES` and
+    /// `MEE_PROP_SEED` overrides from the environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either variable is set but not a valid integer — a typo'd
+    /// override must never silently fall back to a default run.
+    pub fn from_env(default_cases: u32) -> Self {
+        let mut cfg = Self::new(default_cases);
+        if let Ok(v) = std::env::var("MEE_PROP_CASES") {
+            cfg.cases = v
+                .parse()
+                .unwrap_or_else(|_| panic!("MEE_PROP_CASES must be an integer, got {v:?}"));
+        }
+        if let Ok(v) = std::env::var("MEE_PROP_SEED") {
+            let seed = v
+                .parse()
+                .unwrap_or_else(|_| panic!("MEE_PROP_SEED must be a u64, got {v:?}"));
+            cfg.replay = Some(seed);
+        }
+        cfg
+    }
+}
+
+/// Runs `body` for every configured case, panicking with the failing case
+/// seed (and replay instructions) if any case panics.
+///
+/// The per-case seed is `stream_seed(cfg.seed, case_index)`, so case `i`
+/// is stable regardless of how many cases run before or after it.
+pub fn check<F>(name: &str, cfg: &PropConfig, body: F)
+where
+    F: Fn(&mut Rng),
+{
+    if let Some(seed) = cfg.replay {
+        eprintln!("property `{name}`: replaying single case with seed {seed}");
+        let mut rng = Rng::seed_from_u64(seed);
+        body(&mut rng);
+        return;
+    }
+    for case in 0..cfg.cases {
+        let case_seed = stream_seed(cfg.seed, case as u64);
+        let mut rng = Rng::seed_from_u64(case_seed);
+        let result = catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = result {
+            // `&*`: coerce to the payload itself, not `&Box<_>` unsized to
+            // `&dyn Any` (which would make both downcasts miss).
+            let msg = panic_message(&*payload);
+            panic!(
+                "property `{name}` failed at case {case}/{} (case seed {case_seed}): {msg}\n\
+                 replay with: MEE_PROP_SEED={case_seed} cargo test {name}",
+                cfg.cases
+            );
+        }
+    }
+}
+
+/// Generates a vector whose length is drawn from `len` and whose elements
+/// come from `gen` — the workhorse replacing `proptest::collection::vec`.
+pub fn vec_of<T>(rng: &mut Rng, len: Range<usize>, mut gen: impl FnMut(&mut Rng) -> T) -> Vec<T> {
+    let n = rng.random_range(len);
+    (0..n).map(|_| gen(rng)).collect()
+}
+
+/// Picks one element of a non-empty slice (replacing
+/// `prop::sample::select`).
+pub fn pick<T: Copy>(rng: &mut Rng, choices: &[T]) -> T {
+    assert!(!choices.is_empty(), "cannot pick from an empty slice");
+    choices[rng.random_range(0..choices.len())]
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Deterministic helper mirroring [`splitmix64`] for tests that need a
+/// quick independent seed from a case index.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut s = base ^ index;
+    splitmix64(&mut s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        let cfg = PropConfig::new(17);
+        // Count via a Cell-free trick: check takes Fn, so use an atomic.
+        let counter = std::sync::atomic::AtomicU32::new(0);
+        check("trivially true", &cfg, |_rng| {
+            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        count += counter.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn failing_property_reports_case_seed() {
+        let cfg = PropConfig::new(8);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check("always false", &cfg, |_rng| {
+                panic!("intentional failure");
+            })
+        }));
+        let msg = panic_message(&*result.unwrap_err());
+        assert!(msg.contains("always false"), "message: {msg}");
+        assert!(msg.contains("MEE_PROP_SEED="), "no replay recipe: {msg}");
+        assert!(msg.contains("intentional failure"), "inner lost: {msg}");
+    }
+
+    #[test]
+    fn case_seeds_are_stable_per_index() {
+        // The same property body sees the same rng stream per case,
+        // independent of total case count.
+        let collect = |cases: u32| {
+            let out = std::sync::Mutex::new(Vec::new());
+            check("collect", &PropConfig::new(cases), |rng| {
+                out.lock().unwrap().push(rng.next_u64());
+            });
+            out.into_inner().unwrap()
+        };
+        let four = collect(4);
+        let eight = collect(8);
+        assert_eq!(four[..], eight[..4]);
+    }
+
+    #[test]
+    fn replay_runs_exactly_once_with_given_seed() {
+        let cfg = PropConfig {
+            cases: 100,
+            seed: DEFAULT_SEED,
+            replay: Some(42),
+        };
+        let seen = std::sync::Mutex::new(Vec::new());
+        check("replay", &cfg, |rng| {
+            seen.lock().unwrap().push(rng.next_u64());
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0], Rng::seed_from_u64(42).next_u64());
+    }
+
+    #[test]
+    fn vec_of_respects_length_bounds() {
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = vec_of(&mut rng, 3..9, |r| r.random::<u8>());
+            assert!((3..9).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn pick_only_returns_members() {
+        let mut rng = Rng::seed_from_u64(2);
+        let choices = [2usize, 4, 8, 16];
+        for _ in 0..100 {
+            assert!(choices.contains(&pick(&mut rng, &choices)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn pick_rejects_empty() {
+        let mut rng = Rng::seed_from_u64(3);
+        let empty: [u8; 0] = [];
+        let _ = pick(&mut rng, &empty);
+    }
+}

@@ -275,8 +275,8 @@ impl TreeGeometry {
 mod tests {
     use super::*;
     use mee_mem::PhysLayout;
+    use mee_rng::prop::{check, PropConfig};
     use mee_types::PAGE_SIZE;
-    use proptest::prelude::*;
 
     fn geo() -> TreeGeometry {
         let layout = PhysLayout::new(1 << 20, 4 << 20).unwrap();
@@ -389,36 +389,44 @@ mod tests {
         g.block_of(LineAddr::new(0));
     }
 
-    proptest! {
-        /// Every data line in the region has a valid path whose node
-        /// addresses stay inside the tree region and on the right parity.
-        #[test]
-        fn paths_are_well_formed(offset in 0u64..10_000) {
+    /// Every data line in the region has a valid path whose node
+    /// addresses stay inside the tree region and on the right parity.
+    #[test]
+    fn paths_are_well_formed() {
+        check("paths_are_well_formed", &PropConfig::from_env(256), |rng| {
+            let offset = rng.random_range(0u64..10_000);
             let g = geo();
             let lines = g.data_lines();
             let line = LineAddr::new(g.data_region().base().line().raw() + offset % lines);
             let p = g.walk_path(line);
             let v = g.version_line(p.version);
-            prop_assert!(g.tree_region().contains(v.base()));
-            prop_assert_eq!(v.raw() % 2, 1);
-            for (level, node) in [(TreeLevel::L0, p.l0), (TreeLevel::L1, p.l1), (TreeLevel::L2, p.l2)] {
+            assert!(g.tree_region().contains(v.base()));
+            assert_eq!(v.raw() % 2, 1);
+            for (level, node) in [
+                (TreeLevel::L0, p.l0),
+                (TreeLevel::L1, p.l1),
+                (TreeLevel::L2, p.l2),
+            ] {
                 let l = g.level_line(level, node);
-                prop_assert!(g.tree_region().contains(l.base()));
+                assert!(g.tree_region().contains(l.base()));
             }
-            prop_assert!(p.root < g.root_counters());
-        }
+            assert!(p.root < g.root_counters());
+        });
+    }
 
-        /// Distinct blocks get distinct version lines (injectivity).
-        #[test]
-        fn version_lines_injective(a in 0u64..4096, b in 0u64..4096) {
+    /// Distinct blocks get distinct version lines (injectivity).
+    #[test]
+    fn version_lines_injective() {
+        check("version_lines_injective", &PropConfig::from_env(256), |rng| {
             let g = geo();
             let n = g.lines_at(TreeLevel::Version);
-            let (a, b) = (a % n, b % n);
+            let a = rng.random_range(0u64..4096) % n;
+            let b = rng.random_range(0u64..4096) % n;
             if a != b {
-                prop_assert_ne!(g.version_line(a), g.version_line(b));
-                prop_assert_ne!(g.pd_tag_line(a), g.pd_tag_line(b));
+                assert_ne!(g.version_line(a), g.version_line(b));
+                assert_ne!(g.pd_tag_line(a), g.pd_tag_line(b));
             }
-            prop_assert_ne!(g.version_line(a), g.pd_tag_line(b));
-        }
+            assert_ne!(g.version_line(a), g.pd_tag_line(b));
+        });
     }
 }

@@ -335,7 +335,7 @@ impl IntegrityTree {
 mod tests {
     use super::*;
     use mee_mem::PhysLayout;
-    use proptest::prelude::*;
+    use mee_rng::prop::{check, vec_of, PropConfig};
 
     fn tree() -> IntegrityTree {
         let layout = PhysLayout::new(1 << 20, 2 << 20).unwrap();
@@ -441,13 +441,14 @@ mod tests {
         assert!(t.read_verified(far).is_ok());
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// Arbitrary write sequences always verify afterwards, and the last
-        /// write wins.
-        #[test]
-        fn write_sequences_verify(ops in proptest::collection::vec((0u64..2048, 0u64..u64::MAX), 1..40)) {
+    /// Arbitrary write sequences always verify afterwards, and the last
+    /// write wins.
+    #[test]
+    fn write_sequences_verify() {
+        check("write_sequences_verify", &PropConfig::from_env(24), |rng| {
+            let ops = vec_of(rng, 1..40, |r| {
+                (r.random_range(0u64..2048), r.random_range(0u64..u64::MAX))
+            });
             let mut t = tree();
             let lines = t.geometry().data_lines();
             let mut last = std::collections::HashMap::new();
@@ -458,8 +459,8 @@ mod tests {
             }
             for (&idx, &val) in &last {
                 let line = data_line(&t, idx);
-                prop_assert_eq!(t.read_verified(line).unwrap(), val);
+                assert_eq!(t.read_verified(line).unwrap(), val);
             }
-        }
+        });
     }
 }

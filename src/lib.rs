@@ -19,6 +19,7 @@
 //! | Crate | Role |
 //! |---|---|
 //! | [`types`] | addresses, cycles, timing calibration, errors |
+//! | [`rng`] | hermetic seeded RNG + property-testing driver |
 //! | [`cache`] | set-associative caches + replacement policies |
 //! | [`mem`] | physical layout, frame allocation, page tables, DRAM |
 //! | [`tree`] | the SGX-style integrity tree (counters + MACs) |
@@ -50,6 +51,7 @@ pub use mee_cache as cache;
 pub use mee_engine as engine;
 pub use mee_machine as machine;
 pub use mee_mem as mem;
+pub use mee_rng as rng;
 pub use mee_tree as tree;
 pub use mee_types as types;
 

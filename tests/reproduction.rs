@@ -38,7 +38,11 @@ fn figure5_ladder_via_fig5_driver() {
 
 #[test]
 fn figure6_contrast() {
-    let r = run_fig6(42, 16).unwrap();
+    // 64 bits, not the paper-figure's 16: at ~5% channel error a 16-bit
+    // payload fails its own <15% bound with non-trivial probability (3
+    // unlucky bits suffice), so the qualitative claim needs a sample size
+    // where it is seed-stable.
+    let r = run_fig6(42, 64).unwrap();
     assert!(r.this_work.errors.rate() < 0.15);
     assert!(r.prime_probe.errors.rate() >= r.this_work.errors.rate());
     // The probe-cost claim: >3500 cycles vs well under 1000.
@@ -48,6 +52,24 @@ fn figure6_contrast() {
         .probe_times
         .iter()
         .all(|t| t.raw() < 1_500));
+}
+
+#[test]
+fn figure6_contrast_is_not_seed_brittle() {
+    // Regression guard for the flake fixed above: the contrast must hold
+    // on several unrelated seeds, not just the default one.
+    for seed in [1u64, 103, 2019] {
+        let r = run_fig6(seed, 64).unwrap();
+        assert!(
+            r.this_work.errors.rate() < 0.15,
+            "seed {seed}: error rate {}",
+            r.this_work.errors.rate()
+        );
+        assert!(
+            r.prime_probe.errors.rate() >= r.this_work.errors.rate(),
+            "seed {seed}: P+P beat the single-way channel"
+        );
+    }
 }
 
 #[test]
