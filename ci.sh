@@ -9,3 +9,24 @@ cd "$(dirname "$0")"
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --all-targets --offline -- -D warnings
+
+# Every example must run end to end (quick payloads, release build).
+for example in quickstart covert_channel noisy_channel prime_probe_failure \
+               reverse_engineer wide_channel; do
+  echo "== example: ${example}"
+  cargo run --release --offline --example "${example}" >/dev/null
+done
+
+# Smoke-run the parallel seed-sweep bench (2 sessions via MEE_BENCH_SAMPLES
+# has no effect here; scale 1 = 4 sessions, 64 bits each) and hold the
+# BENCH_sweep.json aggregate to its schema: a missing key means a consumer
+# diffing the trajectory across commits silently loses that series.
+echo "== bench-sweep smoke"
+cargo run --release --offline -p mee-bench --bin bench-sweep -- 2019 1 --threads 2 >/dev/null
+for key in name root_seed sessions threads bits_per_session ber_mean ber_p95 \
+           kbps_p50 kbps_p95 probe_p50_cycles probe_p95_cycles host_ns_p50 \
+           host_ns_p95; do
+  grep -q "\"${key}\":" BENCH_sweep.json ||
+    { echo "BENCH_sweep.json schema drift: missing key '${key}'" >&2; exit 1; }
+done
+echo "ci.sh: all checks passed"

@@ -11,6 +11,7 @@ use mee_attack::recon::eviction::find_eviction_set;
 use mee_attack::setup::AttackSetup;
 use mee_attack::threshold::LatencyClassifier;
 use mee_bench::harness::Bench;
+use mee_sweep::Sweep;
 
 fn bench_algorithm1() {
     Bench::new("recon/algorithm1_find_eviction_set")
@@ -68,9 +69,31 @@ fn bench_transmit() {
         .emit();
 }
 
+fn bench_establish_sweep() {
+    // Four full establishments dispatched through the parallel sweep
+    // runner (thread count from MEE_SWEEP_THREADS or the host). Compare
+    // against 4× `channel/establish` to read off the parallel speedup;
+    // results are bit-identical to serial regardless.
+    let runner = Sweep::new();
+    Bench::new(format!(
+        "sweep/establish_x4_threads_{}",
+        runner.thread_count()
+    ))
+    .samples(5)
+    .run(|| {
+        runner.seed_sweep(15, 4, |spec| {
+            let mut setup = AttackSetup::quiet(spec.seed).unwrap();
+            Session::establish(&mut setup, &ChannelConfig::sweep_setup()).unwrap();
+            spec.index
+        })
+    })
+    .emit();
+}
+
 fn main() {
     bench_algorithm1();
     bench_capacity_trial();
     bench_establish();
     bench_transmit();
+    bench_establish_sweep();
 }

@@ -89,9 +89,32 @@ fn bench_machine_ops() {
         .emit();
 }
 
+fn bench_machine_build_sweep() {
+    // Eight independent machine constructions through the parallel sweep
+    // runner — the substrate cost of every multi-session experiment.
+    let runner = mee_sweep::Sweep::new();
+    Bench::new(format!(
+        "sweep/machine_build_x8_threads_{}",
+        runner.thread_count()
+    ))
+    .samples(10)
+    .run(|| {
+        runner.seed_sweep(2019, 8, |spec| {
+            let cfg = MachineConfig {
+                alloc_seed: spec.seed,
+                ..MachineConfig::small()
+            };
+            Machine::new(cfg).unwrap();
+            spec.index
+        })
+    })
+    .emit();
+}
+
 fn main() {
     bench_cache();
     bench_dram();
     bench_mee_walk();
     bench_machine_ops();
+    bench_machine_build_sweep();
 }

@@ -1,0 +1,72 @@
+//! The parallel seed-sweep benchmark: N independent channel sessions
+//! (establish + transmit on a fresh noisy machine each) run through the
+//! `mee-sweep` work queue, with per-session host timing.
+//!
+//! ```text
+//! cargo run --release -p mee-bench --bin bench-sweep -- [seed] [scale] [--threads N]
+//! ```
+//!
+//! * one JSON line per session on stdout (carrying the session's split
+//!   seed, so a suspicious session replays standalone — see
+//!   EXPERIMENTS.md "Running sweeps");
+//! * one aggregate JSON line, also written to `BENCH_sweep.json` in the
+//!   working directory;
+//! * `scale` multiplies both the session count (4×) and the payload
+//!   (64 bits ×); `--threads` / `MEE_SWEEP_THREADS` pin the worker count,
+//!   which changes wall time but never the results.
+
+use std::time::Instant;
+
+use mee_attack::channel::{random_bits, ChannelConfig, Session};
+use mee_attack::setup::AttackSetup;
+use mee_bench::sweep::{SessionRecord, SweepReport};
+use mee_bench::HarnessArgs;
+use mee_sweep::Sweep;
+
+fn percentile_raw(sorted: &[u64], p: f64) -> u64 {
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let sessions = 4 * args.scale;
+    let bits = 64 * args.scale;
+    let cfg = ChannelConfig::sweep_setup();
+    let runner = Sweep::new().threads(args.threads);
+
+    let records = runner.seed_sweep(args.seed, sessions, |spec| {
+        let start = Instant::now();
+        let mut setup = AttackSetup::new(spec.seed).expect("machine construction");
+        let session = Session::establish(&mut setup, &cfg).expect("channel establishment");
+        let payload = random_bits(bits, spec.seed);
+        let out = session.transmit(&mut setup, &payload).expect("transmission");
+        let host_ns = start.elapsed().as_nanos() as f64;
+        let mut probes: Vec<u64> = out.probe_times.iter().map(|t| t.raw()).collect();
+        probes.sort_unstable();
+        SessionRecord {
+            index: spec.index,
+            seed: spec.seed,
+            bits,
+            bit_errors: out.errors.count(),
+            kbps: out.kbps,
+            probe_p50_cycles: percentile_raw(&probes, 50.0),
+            probe_p95_cycles: percentile_raw(&probes, 95.0),
+            host_ns,
+        }
+    });
+
+    let report = SweepReport {
+        name: "channel/seed_sweep".into(),
+        root_seed: args.seed,
+        threads: runner.thread_count(),
+        bits_per_session: bits,
+        records,
+    };
+    report.emit();
+    let path = std::path::Path::new("BENCH_sweep.json");
+    if let Err(e) = report.write(path) {
+        eprintln!("failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}

@@ -19,6 +19,7 @@
 //! bench-simulator` / `--bin bench-channel`.
 
 pub mod harness;
+pub mod sweep;
 
 /// Parsed command-line arguments for a figure binary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +28,9 @@ pub struct HarnessArgs {
     pub seed: u64,
     /// Work multiplier (≥ 1).
     pub scale: usize,
+    /// Worker threads for sweep-based binaries (`--threads N`); `None`
+    /// defers to `MEE_SWEEP_THREADS` or the host's available parallelism.
+    pub threads: Option<usize>,
 }
 
 /// A rejected command-line argument: which position, and the bad value.
@@ -42,7 +46,7 @@ impl std::fmt::Display for ArgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "invalid {} argument {:?} (usage: [seed:u64] [scale:usize>=1])",
+            "invalid {} argument {:?} (usage: [seed:u64] [scale:usize>=1] [--threads N>=1])",
             self.arg, self.value
         )
     }
@@ -55,22 +59,47 @@ impl Default for HarnessArgs {
         HarnessArgs {
             seed: 2019, // the paper's year
             scale: 1,
+            threads: None,
         }
     }
 }
 
 impl HarnessArgs {
-    /// Parses `[seed] [scale]` from an iterator of arguments (typically
-    /// `std::env::args().skip(1)`).
+    /// Parses `[seed] [scale] [--threads N]` from an iterator of arguments
+    /// (typically `std::env::args().skip(1)`). The `--threads` flag may
+    /// appear anywhere; the positionals keep their order.
     ///
     /// # Errors
     ///
     /// Returns an [`ArgError`] naming the offending argument when `seed`
-    /// is not a `u64` or `scale` is not a positive integer. Omitted
-    /// arguments take their defaults.
+    /// is not a `u64`, `scale` is not a positive integer, or `--threads`
+    /// is missing/zero/non-numeric. Omitted arguments take their defaults.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
         let mut out = HarnessArgs::default();
+        let mut positionals = Vec::new();
         let mut it = args.into_iter();
+        while let Some(s) = it.next() {
+            if s == "--threads" {
+                let v = it.next().ok_or(ArgError {
+                    arg: "threads",
+                    value: "<missing>".into(),
+                })?;
+                let threads: usize = v.parse().map_err(|_| ArgError {
+                    arg: "threads",
+                    value: v.clone(),
+                })?;
+                if threads == 0 {
+                    return Err(ArgError {
+                        arg: "threads",
+                        value: v,
+                    });
+                }
+                out.threads = Some(threads);
+            } else {
+                positionals.push(s);
+            }
+        }
+        let mut it = positionals.into_iter();
         if let Some(s) = it.next() {
             out.seed = s.parse().map_err(|_| ArgError {
                 arg: "seed",
@@ -113,19 +142,37 @@ mod tests {
     #[test]
     fn defaults() {
         let a = HarnessArgs::parse(Vec::<String>::new()).unwrap();
-        assert_eq!(a, HarnessArgs { seed: 2019, scale: 1 });
+        assert_eq!(a, HarnessArgs { seed: 2019, scale: 1, threads: None });
     }
 
     #[test]
     fn parses_seed_and_scale() {
         let a = HarnessArgs::parse(vec!["7".into(), "3".into()]).unwrap();
-        assert_eq!(a, HarnessArgs { seed: 7, scale: 3 });
+        assert_eq!(a, HarnessArgs { seed: 7, scale: 3, threads: None });
     }
 
     #[test]
     fn seed_alone_is_accepted() {
         let a = HarnessArgs::parse(vec!["99".into()]).unwrap();
-        assert_eq!(a, HarnessArgs { seed: 99, scale: 1 });
+        assert_eq!(a, HarnessArgs { seed: 99, scale: 1, threads: None });
+    }
+
+    #[test]
+    fn threads_flag_parses_anywhere() {
+        let a = HarnessArgs::parse(vec!["--threads".into(), "4".into()]).unwrap();
+        assert_eq!(a, HarnessArgs { seed: 2019, scale: 1, threads: Some(4) });
+        let b =
+            HarnessArgs::parse(vec!["7".into(), "--threads".into(), "2".into(), "3".into()])
+                .unwrap();
+        assert_eq!(b, HarnessArgs { seed: 7, scale: 3, threads: Some(2) });
+    }
+
+    #[test]
+    fn threads_flag_rejects_garbage() {
+        for bad in [vec!["--threads".into()], vec!["--threads".into(), "zero".into()], vec!["--threads".into(), "0".into()]] {
+            let e = HarnessArgs::parse(bad).unwrap_err();
+            assert_eq!(e.arg, "threads");
+        }
     }
 
     #[test]

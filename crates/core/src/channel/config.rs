@@ -64,6 +64,26 @@ impl Default for ChannelConfig {
 }
 
 impl ChannelConfig {
+    /// The establishment profile for pooled seed sweeps.
+    ///
+    /// A 16-session sweep spends almost all of its time in Algorithm 1 and
+    /// the spy's monitor search, while the statistics under test live in
+    /// the *transmissions*. This profile keeps every transmission parameter
+    /// identical to [`ChannelConfig::default`] (window, strategy, offset —
+    /// so sweep BERs remain comparable to single-session runs) and trims
+    /// only the candidate pools to Algorithm 1's 64-candidate floor. The
+    /// vote count stays at 3: shrinking it to 2 turns the 2-of-3 majority
+    /// into a stricter unanimous vote, which makes the conflict searches
+    /// *slower* on noisy machines, not faster, and a single vote loses
+    /// roughly one session in sixteen to establishment noise.
+    pub fn sweep_setup() -> Self {
+        ChannelConfig {
+            trojan_candidates: 64,
+            spy_candidates: 64,
+            ..Self::default()
+        }
+    }
+
     /// Validates the parameters.
     ///
     /// # Errors

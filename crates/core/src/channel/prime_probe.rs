@@ -358,7 +358,6 @@ impl PrimeProbeSession {
 mod tests {
     use super::*;
     use crate::channel::message::alternating_bits;
-    use crate::channel::Session;
 
     #[test]
     fn baseline_probe_times_exceed_3500_cycles() {
@@ -375,35 +374,37 @@ mod tests {
 
     #[test]
     fn baseline_is_much_worse_than_the_papers_channel_under_noise() {
-        // Pooled over several seeds: per-seed error rates at this payload
-        // size fluctuate enough that a single lucky P+P run can close the
+        // Pooled over sixteen seeds: per-seed error rates at small payload
+        // sizes fluctuate enough that a single lucky P+P run can close the
         // gap (the noise streams occasionally miss the probed set), but the
         // qualitative claim — the LLC baseline is clearly noisier than the
-        // MEE-cache channel — must hold in aggregate on every seed set.
-        let bits = alternating_bits(96);
-        let mut pp_errors = 0usize;
-        let mut ours_errors = 0usize;
-        let mut total = 0usize;
-        for seed in [1u64, 82, 103, 2019] {
-            let mut setup = AttackSetup::new(seed).unwrap();
-            let pp = PrimeProbeSession::establish(&mut setup, &ChannelConfig::default()).unwrap();
-            let pp_out = pp.transmit(&mut setup, &bits).unwrap();
-
-            let mut setup2 = AttackSetup::new(seed + 1).unwrap();
-            let ours = Session::establish(&mut setup2, &ChannelConfig::default()).unwrap();
-            let ours_out = ours.transmit(&mut setup2, &bits).unwrap();
-
-            pp_errors += pp_out.errors.count();
-            ours_errors += ours_out.errors.count();
-            total += bits.len();
-        }
-        let pp_rate = pp_errors as f64 / total as f64;
-        let ours_rate = ours_errors as f64 / total as f64;
+        // MEE-cache channel — must hold in aggregate. The sessions run
+        // through the parallel sweep runner with seeds split from one root,
+        // so the pool is identical no matter how many worker threads the
+        // host grants.
+        // The Prime+Probe panel peels a whole-set eviction set from the
+        // candidate pool, which needs more slack than the single-address
+        // search: with the 64-candidate sweep profile one of the sixteen
+        // split seeds fails peeling outright, so widen the pool for this
+        // sweep while keeping the cheap establishment reps.
+        let cfg = ChannelConfig {
+            trojan_candidates: 96,
+            ..ChannelConfig::sweep_setup()
+        };
+        let plan = crate::experiments::SweepPlan::new(2019, 16);
+        let sweep = crate::experiments::run_fig6_sweep(&plan, 24, &cfg).unwrap();
+        let pooled = sweep.pooled();
+        assert_eq!(pooled.total_bits, 16 * 24);
         assert!(
-            pp_rate > ours_rate + 0.05,
+            pooled.prime_probe_rate() > pooled.this_work_rate() + 0.05,
             "Prime+Probe ({:.1}%) should be clearly worse than the MEE channel ({:.1}%)",
-            pp_rate * 100.0,
-            ours_rate * 100.0
+            pooled.prime_probe_rate() * 100.0,
+            pooled.this_work_rate() * 100.0
+        );
+        assert!(
+            pooled.this_work_rate() < 0.10,
+            "pooled MEE-channel error rate {:.1}% too high",
+            pooled.this_work_rate() * 100.0
         );
     }
 }

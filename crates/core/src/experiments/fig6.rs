@@ -19,21 +19,32 @@ pub struct Fig6Result {
     pub this_work: TransmitOutcome,
 }
 
-/// Runs both panels with a `0101…` sequence of `bits` bits.
+/// Runs both panels with a `0101…` sequence of `bits` bits, using the
+/// paper's default channel parameters.
 ///
 /// # Errors
 ///
 /// Propagates machine and setup errors.
 pub fn run_fig6(seed: u64, bits: usize) -> Result<Fig6Result, ModelError> {
+    run_fig6_with(seed, bits, &ChannelConfig::default())
+}
+
+/// Like [`run_fig6`] with explicit channel parameters — seed sweeps use
+/// [`ChannelConfig::sweep_setup`] so that establishment cost does not
+/// dominate a 16-session pooled run.
+///
+/// # Errors
+///
+/// Propagates machine and setup errors.
+pub fn run_fig6_with(seed: u64, bits: usize, cfg: &ChannelConfig) -> Result<Fig6Result, ModelError> {
     let payload = alternating_bits(bits);
-    let cfg = ChannelConfig::default();
 
     let mut setup_a = AttackSetup::new(seed)?;
-    let pp = PrimeProbeSession::establish(&mut setup_a, &cfg)?;
+    let pp = PrimeProbeSession::establish(&mut setup_a, cfg)?;
     let prime_probe = pp.transmit(&mut setup_a, &payload)?;
 
     let mut setup_b = AttackSetup::new(seed.wrapping_add(1))?;
-    let session = Session::establish(&mut setup_b, &cfg)?;
+    let session = Session::establish(&mut setup_b, cfg)?;
     let this_work = session.transmit(&mut setup_b, &payload)?;
 
     Ok(Fig6Result {

@@ -15,17 +15,22 @@ pub mod fig8;
 pub mod headline;
 pub mod mitigation;
 pub mod stealth;
+pub mod sweep;
 pub mod timers;
 pub mod wide;
 
 pub use ablation::{run_ablation, AblationResult};
 pub use fig4::{run_fig4, Fig4Result};
 pub use fig5::{run_fig5, Fig5Result};
-pub use fig6::{run_fig6, Fig6Result};
+pub use fig6::{run_fig6, run_fig6_with, Fig6Result};
 pub use fig7::{run_fig7, Fig7Result};
 pub use fig8::{run_fig8, Fig8Result, NoiseEnvironment};
 pub use headline::{run_headline, HeadlineResult};
 pub use mitigation::{run_mitigation, MitigationResult};
 pub use stealth::{run_stealth, StealthResult};
+pub use sweep::{
+    run_channel_sweep, run_fig5_sweep, run_fig6_sweep, ChannelSweepPoint, Fig5Sweep, Fig6Sweep,
+    PooledContrast, SweepPlan,
+};
 pub use timers::{run_timers, TimersResult};
 pub use wide::{run_wide, WideResult};

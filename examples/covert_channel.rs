@@ -8,11 +8,10 @@
 
 use mee_covert::attack::channel::coding::{deframe, frame};
 use mee_covert::attack::channel::{ChannelConfig, Session};
-use mee_covert::attack::setup::AttackSetup;
 use mee_covert::types::ModelError;
 
 fn main() -> Result<(), ModelError> {
-    let mut setup = AttackSetup::new(1337)?;
+    let mut setup = mee_covert::testbed::noisy_setup(1337)?;
     let session = Session::establish(&mut setup, &ChannelConfig::default())?;
 
     // The secret the trojan exfiltrates: a 128-bit key.

@@ -8,7 +8,6 @@
 
 use mee_covert::attack::channel::{paper_100_pattern, ChannelConfig, Session};
 use mee_covert::attack::noise::{MeeNoiseActor, MemStressActor};
-use mee_covert::attack::setup::AttackSetup;
 use mee_covert::machine::{ActorRef, CoreId};
 use mee_covert::types::ModelError;
 
@@ -19,7 +18,7 @@ fn main() -> Result<(), ModelError> {
     // Environment (b): ordinary-memory stress. The MEE cache is untouched,
     // so the channel barely notices (§5.4).
     {
-        let mut setup = AttackSetup::new(88)?;
+        let mut setup = mee_covert::testbed::noisy_setup(88)?;
         let session = Session::establish(&mut setup, &ChannelConfig::default())?;
         let (proc, mut actor) = MemStressActor::install_on(&mut setup, 512)?;
         let mut noise: Vec<ActorRef<'_>> = vec![(noise_core, proc, &mut actor)];
@@ -34,7 +33,7 @@ fn main() -> Result<(), ModelError> {
     // Environments (c)/(d): another tenant streaming integrity-tree data
     // through the MEE cache — the noise that actually hurts.
     for (label, stride, pages) in [("MEE noise 512 B ", 512usize, 128usize), ("MEE noise 4 KiB ", 4096, 256)] {
-        let mut setup = AttackSetup::new(88)?;
+        let mut setup = mee_covert::testbed::noisy_setup(88)?;
         let session = Session::establish(&mut setup, &ChannelConfig::default())?;
         let (proc, mut actor) = MeeNoiseActor::install_on(&mut setup, stride, pages)?;
         let mut noise: Vec<ActorRef<'_>> = vec![(noise_core, proc, &mut actor)];

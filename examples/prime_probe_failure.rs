@@ -7,7 +7,6 @@
 
 use mee_covert::attack::channel::prime_probe::PrimeProbeSession;
 use mee_covert::attack::channel::{alternating_bits, ChannelConfig, Session};
-use mee_covert::attack::setup::AttackSetup;
 use mee_covert::types::ModelError;
 
 fn main() -> Result<(), ModelError> {
@@ -15,7 +14,7 @@ fn main() -> Result<(), ModelError> {
     let cfg = ChannelConfig::default();
 
     // Baseline: the spy holds the eviction set and must probe all 8 ways.
-    let mut setup = AttackSetup::new(555)?;
+    let mut setup = mee_covert::testbed::noisy_setup(555)?;
     let baseline = PrimeProbeSession::establish(&mut setup, &cfg)?;
     let pp = baseline.transmit(&mut setup, &bits)?;
     let pp_mean: u64 =
@@ -28,7 +27,7 @@ fn main() -> Result<(), ModelError> {
     );
 
     // This work: the trojan holds the eviction set; the spy probes ONE way.
-    let mut setup = AttackSetup::new(556)?;
+    let mut setup = mee_covert::testbed::noisy_setup(556)?;
     let session = Session::establish(&mut setup, &cfg)?;
     let ours = session.transmit(&mut setup, &bits)?;
     let ours_mean: u64 =

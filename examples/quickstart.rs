@@ -8,14 +8,18 @@
 use mee_covert::prelude::*;
 
 fn main() -> Result<(), ModelError> {
-    // Build the testbed: a 4-core SGX machine with the trojan and spy in
+    // Build the testbed: an SGX machine with the trojan and spy in
     // separate enclaves on separate cores (the paper's threat model, §2.3).
     // The default machine includes realistic DRAM jitter and OS stalls.
-    let mut setup = AttackSetup::new(2019)?;
-    println!("machine up: {} cores, MEE cache {:?}", 4, {
-        let c = setup.machine.mee().cache().config();
-        (c.sets, c.ways, c.line_size)
-    });
+    let mut setup = mee_covert::testbed::noisy_setup(mee_covert::testbed::SEED)?;
+    println!(
+        "machine up: {} cores, MEE cache {:?}",
+        setup.machine.config().cores,
+        {
+            let c = setup.machine.mee().cache().config();
+            (c.sets, c.ways, c.line_size)
+        }
+    );
 
     // Phase 1 — reverse engineering + handshake. The trojan runs the
     // paper's Algorithm 1 to find 8 virtual addresses whose versions lines

@@ -9,13 +9,12 @@
 use mee_covert::attack::recon::capacity::{capacity_from_saturation, run_capacity_experiment};
 use mee_covert::attack::recon::eviction::find_eviction_set;
 use mee_covert::attack::recon::latency::run_latency_census;
-use mee_covert::attack::setup::AttackSetup;
 use mee_covert::attack::threshold::LatencyClassifier;
 use mee_covert::engine::HitLevel;
 use mee_covert::types::ModelError;
 
 fn main() -> Result<(), ModelError> {
-    let mut setup = AttackSetup::new(7)?;
+    let mut setup = mee_covert::testbed::noisy_setup(7)?;
     let classifier = LatencyClassifier::from_timing(&setup.machine.config().timing);
 
     // --- Capacity (Figure 4) ---------------------------------------------

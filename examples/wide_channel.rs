@@ -7,19 +7,18 @@
 
 use mee_covert::attack::channel::{random_bits, ChannelConfig, WideSession};
 use mee_covert::attack::recon::profile_mee_cache;
-use mee_covert::attack::setup::AttackSetup;
 use mee_covert::types::ModelError;
 
 fn main() -> Result<(), ModelError> {
     // Step 1: the attacker profiles the MEE cache it knows nothing about.
-    let mut setup = AttackSetup::new(99)?;
+    let mut setup = mee_covert::testbed::noisy_setup(99)?;
     let profile = profile_mee_cache(&mut setup, 0, 3)?;
     println!("profiled MEE cache: {profile}");
 
     // Step 2: one lane per agreed in-page offset — up to 8 parallel
     // MEE-cache sets carrying one bit each per window.
     for lanes in [1usize, 2, 4] {
-        let mut setup = AttackSetup::new(99 + lanes as u64)?;
+        let mut setup = mee_covert::testbed::noisy_setup(99 + lanes as u64)?;
         let session = WideSession::establish(&mut setup, &ChannelConfig::default(), lanes)?;
         let payload = random_bits(256, lanes as u64);
         let out = session.transmit(&mut setup, &payload)?;

@@ -52,8 +52,60 @@ pub use mee_engine as engine;
 pub use mee_machine as machine;
 pub use mee_mem as mem;
 pub use mee_rng as rng;
+pub use mee_sweep as sweep;
 pub use mee_tree as tree;
 pub use mee_types as types;
+
+/// The shared testbed every integration test and example builds on.
+///
+/// Machine shape, the workspace seed convention, and the sweep-plan
+/// defaults live here in exactly one place, so a change to the test
+/// machine (say, more cores or a bigger MEE cache) lands in every consumer
+/// at once instead of drifting per file.
+pub mod testbed {
+    use mee_attack::setup::AttackSetup;
+    use mee_machine::{Machine, MachineConfig};
+    use mee_types::ModelError;
+
+    /// The workspace-wide default root seed (the paper's year). Figure
+    /// binaries, sweeps, and golden tests all derive from it.
+    pub const SEED: u64 = 2019;
+
+    /// The machine shape integration tests run on: the small
+    /// configuration, big enough for every experiment but quick to fill.
+    pub fn machine_config() -> MachineConfig {
+        MachineConfig::small()
+    }
+
+    /// A machine built from [`machine_config`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from [`Machine::new`].
+    pub fn machine() -> Result<Machine, ModelError> {
+        Machine::new(machine_config())
+    }
+
+    /// The standard noisy attack testbed for a given seed (DRAM jitter and
+    /// OS stalls on, as in the paper's measurement environment).
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine construction errors.
+    pub fn noisy_setup(seed: u64) -> Result<AttackSetup, ModelError> {
+        AttackSetup::new(seed)
+    }
+
+    /// The quiet attack testbed for a given seed (no noise sources) —
+    /// what doc examples and determinism tests use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine construction errors.
+    pub fn quiet_setup(seed: u64) -> Result<AttackSetup, ModelError> {
+        AttackSetup::quiet(seed)
+    }
+}
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {

@@ -1,0 +1,120 @@
+//! Golden-trace regression tests: the seed-2019 Figure 5 latency histogram
+//! and Figure 6 BER table are pinned to committed snapshots, so *any*
+//! behavioural drift in the simulator — timing model, replacement policy,
+//! RNG stream layout — shows up as a diff, not as a silently shifted
+//! statistic that the tolerance-based tests still accept.
+//!
+//! When a change is intentional, regenerate the snapshots with:
+//!
+//! ```text
+//! MEE_BLESS=1 cargo test --test golden
+//! ```
+//!
+//! and commit the updated files under `tests/golden/` with the change that
+//! caused them.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use mee_covert::attack::channel::ChannelConfig;
+use mee_covert::attack::experiments::{run_fig5, run_fig6_with};
+use mee_covert::engine::HitLevel;
+use mee_covert::testbed;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("MEE_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             `MEE_BLESS=1 cargo test --test golden`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "golden snapshot {name} drifted; if intentional, re-bless with \
+         `MEE_BLESS=1 cargo test --test golden` and commit the diff"
+    );
+}
+
+#[test]
+fn fig5_latency_histogram_matches_snapshot() {
+    let r = run_fig5(testbed::SEED, 24, 2).unwrap();
+    let pooled = r.pooled();
+    let mut s = String::new();
+    writeln!(s, "# fig5 seed={} samples=24 passes=2", testbed::SEED).unwrap();
+    let hist = pooled.level_histogram();
+    for level in HitLevel::ALL {
+        let mean = pooled
+            .mean_at(level)
+            .map(|c| c.raw().to_string())
+            .unwrap_or_else(|| "-".into());
+        writeln!(
+            s,
+            "level {} count {} mean {}",
+            level.label(),
+            hist[level.ladder_index()],
+            mean
+        )
+        .unwrap();
+    }
+    // The latency histogram itself, 40-cycle buckets (the figure's x-axis).
+    let mut buckets = std::collections::BTreeMap::new();
+    for sample in &pooled.samples {
+        *buckets.entry(sample.latency.raw() / 40 * 40).or_insert(0u32) += 1;
+    }
+    for (lo, count) in buckets {
+        writeln!(s, "bucket {lo} count {count}").unwrap();
+    }
+    check_golden("fig5_latency_histogram.txt", &s);
+}
+
+#[test]
+fn fig6_ber_table_matches_snapshot() {
+    let r = run_fig6_with(testbed::SEED, 24, &ChannelConfig::sweep_setup()).unwrap();
+    let mut s = String::new();
+    writeln!(s, "# fig6 seed={} bits=24 profile=sweep_setup", testbed::SEED).unwrap();
+    writeln!(
+        s,
+        "prime_probe bits {} errors {} rate {:.4}",
+        r.prime_probe.sent.len(),
+        r.prime_probe.errors.count(),
+        r.prime_probe.errors.rate()
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "this_work bits {} errors {} rate {:.4}",
+        r.this_work.sent.len(),
+        r.this_work.errors.count(),
+        r.this_work.errors.rate()
+    )
+    .unwrap();
+    // Per-bit decode series: sent vs received, both panels. This is the
+    // figure's raw data — a single flipped bit anywhere is a diff.
+    for (i, (&sent, &got)) in r
+        .prime_probe
+        .sent
+        .iter()
+        .zip(&r.prime_probe.received)
+        .enumerate()
+    {
+        writeln!(s, "pp bit {i} sent {} got {}", sent as u8, got as u8).unwrap();
+    }
+    for (i, (&sent, &got)) in r.this_work.sent.iter().zip(&r.this_work.received).enumerate() {
+        writeln!(s, "ours bit {i} sent {} got {}", sent as u8, got as u8).unwrap();
+    }
+    check_golden("fig6_ber_table.txt", &s);
+}

@@ -3,10 +3,13 @@
 //! live in EXPERIMENTS.md and are produced by `cargo run -p mee-bench
 //! --bin all`.
 
+use mee_covert::attack::channel::ChannelConfig;
 use mee_covert::attack::experiments::{
-    run_fig4, run_fig6, run_fig7, run_fig8, run_headline, run_timers, NoiseEnvironment,
+    run_channel_sweep, run_fig4, run_fig6_with, run_fig7, run_fig8, run_headline, run_timers,
+    NoiseEnvironment, SweepPlan,
 };
 use mee_covert::engine::HitLevel;
+use mee_covert::testbed;
 
 #[test]
 fn figure4_probability_curve_and_capacity() {
@@ -38,11 +41,12 @@ fn figure5_ladder_via_fig5_driver() {
 
 #[test]
 fn figure6_contrast() {
-    // 64 bits, not the paper-figure's 16: at ~5% channel error a 16-bit
-    // payload fails its own <15% bound with non-trivial probability (3
-    // unlucky bits suffice), so the qualitative claim needs a sample size
-    // where it is seed-stable.
-    let r = run_fig6(42, 64).unwrap();
+    // One representative two-panel run; the sixteen-seed pooled statistics
+    // live in `figure6_channel_statistics_pool_sixteen_seeds` below and in
+    // the P+P contrast sweep in the attack crate. 64 bits, not the
+    // paper-figure's 16: at ~5% channel error a 16-bit payload fails its
+    // own <15% bound with non-trivial probability (3 unlucky bits suffice).
+    let r = run_fig6_with(42, 64, &ChannelConfig::sweep_setup()).unwrap();
     assert!(r.this_work.errors.rate() < 0.15);
     assert!(r.prime_probe.errors.rate() >= r.this_work.errors.rate());
     // The probe-cost claim: >3500 cycles vs well under 1000.
@@ -55,20 +59,28 @@ fn figure6_contrast() {
 }
 
 #[test]
-fn figure6_contrast_is_not_seed_brittle() {
-    // Regression guard for the flake fixed above: the contrast must hold
-    // on several unrelated seeds, not just the default one.
-    for seed in [1u64, 103, 2019] {
-        let r = run_fig6(seed, 64).unwrap();
-        assert!(
-            r.this_work.errors.rate() < 0.15,
-            "seed {seed}: error rate {}",
-            r.this_work.errors.rate()
-        );
-        assert!(
-            r.prime_probe.errors.rate() >= r.this_work.errors.rate(),
-            "seed {seed}: P+P beat the single-way channel"
-        );
+fn figure6_channel_statistics_pool_sixteen_seeds() {
+    // Successor of the 3-seed brittleness guard: sixteen independent noisy
+    // sessions, seeds split from the workspace root, run through the
+    // parallel sweep runner (bit-identical to serial for any thread
+    // count). The channel's §5.4 claims must hold pooled and per session.
+    let plan = SweepPlan::new(testbed::SEED, 16);
+    let points = run_channel_sweep(&plan, &ChannelConfig::sweep_setup(), 24).unwrap();
+    assert_eq!(points.len(), 16);
+    let total_bits: usize = points.iter().map(|p| p.bits).sum();
+    let total_errors: usize = points.iter().map(|p| p.bit_errors).sum();
+    let pooled_rate = total_errors as f64 / total_bits as f64;
+    assert!(
+        pooled_rate < 0.08,
+        "pooled error rate {pooled_rate} over {total_bits} bits"
+    );
+    for p in &points {
+        // No catastrophic session hides inside a good pool…
+        assert!(p.error_rate() < 0.25, "session {} (seed {}): {}", p.index, p.seed, p.error_rate());
+        // …every session hits the paper's ~35 KBps operating point…
+        assert!((30.0..=40.0).contains(&p.kbps), "session {}: {} KBps", p.index, p.kbps);
+        // …and single-way probes stay far below P+P's 3500-cycle sweeps.
+        assert!(p.probe_p95.raw() < 1_500, "session {}: p95 {}", p.index, p.probe_p95);
     }
 }
 

@@ -1,15 +1,16 @@
 //! The SGX semantics the paper's challenges (§3) rest on, verified through
 //! the machine's public API.
 
-use mee_covert::machine::{CoreId, Machine, MachineConfig};
+use mee_covert::machine::{CoreId, Machine};
 use mee_covert::mem::AddressSpaceKind;
+use mee_covert::testbed;
 use mee_covert::tree::TreeLevel;
 use mee_covert::types::{Cycles, ModelError, VirtAddr, PAGE_SIZE};
 
 const CORE0: CoreId = CoreId::new(0);
 
 fn machine() -> Machine {
-    Machine::new(MachineConfig::small()).unwrap()
+    testbed::machine().unwrap()
 }
 
 #[test]
@@ -73,6 +74,67 @@ fn challenge4_rdtsc_faults_but_the_timer_trick_works() {
     let ts = m.timer_read(CORE0);
     assert!(ts <= before);
     assert_eq!(m.core_now(CORE0) - before, m.config().timing.timer_read);
+}
+
+#[test]
+fn restriction_rdtsc_denial_names_the_instruction() {
+    // One test per SGX1 restriction, asserting the exact error variant the
+    // model raises — downstream actor code matches on these.
+    let mut m = machine();
+    let e = m.create_process(AddressSpaceKind::Enclave);
+    assert_eq!(
+        m.rdtsc(CORE0, e),
+        Err(ModelError::IllegalInEnclave {
+            instruction: "rdtsc"
+        })
+    );
+    // The denial is enclave-specific, not a global rdtsc ban.
+    let r = m.create_process(AddressSpaceKind::Regular);
+    assert!(m.rdtsc(CORE0, r).is_ok());
+}
+
+#[test]
+fn restriction_hugepage_denial_names_the_instruction() {
+    let mut m = machine();
+    let e = m.create_process(AddressSpaceKind::Enclave);
+    assert_eq!(
+        m.map_pages_contiguous(e, VirtAddr::new(0x50_0000), 4),
+        Err(ModelError::IllegalInEnclave {
+            instruction: "hugepage mapping"
+        })
+    );
+    // Regular processes may still get contiguous frames.
+    let r = m.create_process(AddressSpaceKind::Regular);
+    m.map_pages_contiguous(r, VirtAddr::new(0x50_0000), 4).unwrap();
+}
+
+#[test]
+fn restriction_enclave_allocations_are_prm_bounded() {
+    // Enclave memory comes from the PRM data region and nowhere else: a
+    // request exceeding what remains must fail with the allocator's
+    // bookkeeping intact, not spill into regular DRAM.
+    let mut m = machine();
+    let e = m.create_process(AddressSpaceKind::Enclave);
+    let prm_pages = m.layout().prm_data().pages() as usize;
+    let err = m
+        .map_pages(e, VirtAddr::new(0x60_0000), prm_pages + 1)
+        .unwrap_err();
+    match err {
+        ModelError::OutOfMemory {
+            requested_pages,
+            available_pages,
+        } => {
+            assert!(
+                requested_pages > available_pages,
+                "refused although {requested_pages} ≤ {available_pages}"
+            );
+            assert!(
+                available_pages <= prm_pages,
+                "allocator claims more free pages ({available_pages}) than the PRM holds ({prm_pages})"
+            );
+        }
+        other => panic!("expected OutOfMemory, got {other:?}"),
+    }
 }
 
 #[test]
