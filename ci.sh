@@ -12,7 +12,7 @@ cargo clippy --all-targets --offline -- -D warnings
 
 # Every example must run end to end (quick payloads, release build).
 for example in quickstart covert_channel noisy_channel prime_probe_failure \
-               reverse_engineer wide_channel; do
+               reverse_engineer wide_channel faulty_channel; do
   echo "== example: ${example}"
   cargo run --release --offline --example "${example}" >/dev/null
 done
@@ -28,5 +28,17 @@ for key in name root_seed sessions threads bits_per_session ber_mean ber_p95 \
            host_ns_p95; do
   grep -q "\"${key}\":" BENCH_sweep.json ||
     { echo "BENCH_sweep.json schema drift: missing key '${key}'" >&2; exit 1; }
+done
+
+# Smoke-run the resilience bench (2 sessions, off/light/heavy fault plans
+# with the full raw/robust/ARQ phase stack) and hold BENCH_resilience.json
+# to its schema the same way.
+echo "== bench-resilience smoke"
+cargo run --release --offline -p mee-bench --bin bench-resilience -- 2019 1 --threads 2 >/dev/null
+for key in name root_seed sessions threads bits_per_session raw_ber_off \
+           raw_ber_light raw_ber_heavy degradation_x residual_worst \
+           retransmissions_heavy window_escalations_heavy goodput_heavy_kbps; do
+  grep -q "\"${key}\":" BENCH_resilience.json ||
+    { echo "BENCH_resilience.json schema drift: missing key '${key}'" >&2; exit 1; }
 done
 echo "ci.sh: all checks passed"

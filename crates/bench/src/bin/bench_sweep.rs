@@ -30,10 +30,18 @@ fn percentile_raw(sorted: &[u64], p: f64) -> u64 {
 
 fn main() {
     let args = HarnessArgs::from_env();
+    // Validate the environment override the same way bad CLI flags are
+    // rejected: a message on stderr and exit status 2, not a panic.
+    let runner = match Sweep::from_env() {
+        Ok(r) => r.threads(args.threads),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
     let sessions = 4 * args.scale;
     let bits = 64 * args.scale;
     let cfg = ChannelConfig::sweep_setup();
-    let runner = Sweep::new().threads(args.threads);
 
     let records = runner.seed_sweep(args.seed, sessions, |spec| {
         let start = Instant::now();

@@ -19,6 +19,7 @@
 //! bench-simulator` / `--bin bench-channel`.
 
 pub mod harness;
+pub mod resilience;
 pub mod sweep;
 
 /// Parsed command-line arguments for a figure binary.

@@ -229,6 +229,26 @@ impl SetAssocCache {
         self.policy.attach(self.cfg.sets, self.cfg.ways);
     }
 
+    /// Invalidates every resident line of one set (a co-runner thrashing
+    /// exactly that set); returns how many lines were dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set >= sets`.
+    pub fn invalidate_set(&mut self, set: usize) -> usize {
+        assert!(set < self.cfg.sets, "set {set} out of range");
+        let base = set * self.cfg.ways;
+        let mut dropped = 0;
+        for way in 0..self.cfg.ways {
+            if self.lines[base + way].take().is_some() {
+                self.policy.on_invalidate(set, way);
+                self.stats.invalidations += 1;
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
     /// Number of resident lines.
     pub fn occupancy(&self) -> usize {
         self.lines.iter().filter(|l| l.is_some()).count()
@@ -326,6 +346,21 @@ mod tests {
         assert!(c.contains(l2));
         assert!(c.contains(l4));
         assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidate_set_empties_only_that_set() {
+        let mut c = small_lru();
+        c.access(LineAddr::new(0)); // set 0
+        c.access(LineAddr::new(2)); // set 0
+        c.access(LineAddr::new(1)); // set 1
+        assert_eq!(c.invalidate_set(0), 2);
+        assert_eq!(c.set_occupancy(0), 0);
+        assert_eq!(c.set_occupancy(1), 1);
+        assert!(c.contains(LineAddr::new(1)));
+        assert_eq!(c.stats().invalidations, 2);
+        // Idempotent on an already-empty set.
+        assert_eq!(c.invalidate_set(0), 0);
     }
 
     #[test]

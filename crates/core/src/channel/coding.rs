@@ -74,10 +74,30 @@ pub fn frame(data: &[bool]) -> Vec<bool> {
 /// the first `search` positions) and decodes the payload. Returns `None`
 /// if the preamble is not found.
 pub fn deframe(received: &[bool], data_len: usize, search: usize) -> Option<Vec<bool>> {
-    let limit = search.min(received.len().saturating_sub(PREAMBLE.len()));
-    let start = (0..=limit).find(|&i| received[i..].starts_with(&PREAMBLE))?;
+    let start = locate_preamble(received, search, 0)?;
     let payload = &received[start + PREAMBLE.len()..];
     Some(hamming_decode(payload, data_len))
+}
+
+/// Finds the first offset within `search` where the received bits match
+/// [`PREAMBLE`] with at most `tolerance` flipped bits, or `None`.
+///
+/// Tolerance 0 is the exact scan [`deframe`] uses; the self-healing
+/// receiver re-locks with tolerance 1 (a single noise flip in the preamble
+/// should not be mistaken for a lost window).
+pub fn locate_preamble(received: &[bool], search: usize, tolerance: usize) -> Option<usize> {
+    if received.len() < PREAMBLE.len() {
+        return None;
+    }
+    let limit = search.min(received.len() - PREAMBLE.len());
+    (0..=limit).find(|&i| {
+        received[i..i + PREAMBLE.len()]
+            .iter()
+            .zip(PREAMBLE.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+            <= tolerance
+    })
 }
 
 #[cfg(test)]
@@ -131,6 +151,17 @@ mod tests {
     fn deframe_fails_without_preamble() {
         let rx = vec![false; 64];
         assert_eq!(deframe(&rx, 8, 16), None);
+    }
+
+    #[test]
+    fn locate_preamble_tolerates_one_flip_when_asked() {
+        let data = random_bits(16, 6);
+        let mut rx = vec![false, true];
+        rx.extend(frame(&data));
+        rx[2 + 3] = !rx[2 + 3]; // corrupt one preamble bit
+        assert_eq!(locate_preamble(&rx, 8, 0), None, "exact scan must miss");
+        assert_eq!(locate_preamble(&rx, 8, 1), Some(2));
+        assert_eq!(locate_preamble(&[true, false], 8, 1), None, "short input");
     }
 
     #[test]

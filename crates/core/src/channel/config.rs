@@ -114,9 +114,137 @@ impl ChannelConfig {
     }
 }
 
+/// How the reliable link degrades gracefully when the channel turns
+/// hostile (see [`ReliableLink`](crate::channel::ReliableLink)).
+///
+/// Two mechanisms compose:
+///
+/// * **window ladder** — when the frame-error rate over a sliding window
+///   of recent attempts exceeds `fer_threshold`, both directions widen
+///   their timing window to the next rung (default 15 000 → 30 000 →
+///   60 000 cycles). Wider windows make preemption bursts and drift
+///   proportionally smaller relative to a bit slot, at an honestly
+///   reported cost in goodput;
+/// * **exponential backoff** — after each failed attempt both cores idle
+///   for `backoff_base · 2^(consecutive_failures − 1)` cycles (capped at
+///   `2^max_backoff_exp`), letting an interrupt storm pass instead of
+///   burning retries into it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Timing windows to escalate through, ascending. The first rung
+    /// should be the session's operating window.
+    pub window_ladder: Vec<Cycles>,
+    /// Number of recent frame attempts tracked for the FER estimate.
+    pub fer_window: usize,
+    /// Escalate when `failures / attempts` over the tracked attempts
+    /// exceeds this (in `(0, 1]`).
+    pub fer_threshold: f64,
+    /// Idle time after the first consecutive failure.
+    pub backoff_base: Cycles,
+    /// Cap on the backoff exponent.
+    pub max_backoff_exp: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            window_ladder: vec![
+                Cycles::new(15_000),
+                Cycles::new(30_000),
+                Cycles::new(60_000),
+            ],
+            fer_window: 8,
+            fer_threshold: 0.5,
+            backoff_base: Cycles::new(30_000),
+            max_backoff_exp: 4,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// A policy that never escalates or backs off — the pre-recovery
+    /// behaviour, useful as an experimental control.
+    pub fn disabled() -> Self {
+        RecoveryPolicy {
+            window_ladder: vec![Cycles::new(15_000)],
+            fer_window: 8,
+            fer_threshold: 2.0, // a rate never exceeds 1, so never escalate
+            backoff_base: Cycles::ZERO,
+            max_backoff_exp: 0,
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] for an empty or non-ascending
+    /// ladder, a zero FER window, or a non-positive FER threshold.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let fail = |reason: String| Err(ModelError::InvalidConfig { reason });
+        if self.window_ladder.is_empty() {
+            return fail("recovery ladder must have at least one rung".into());
+        }
+        if self.window_ladder.contains(&Cycles::ZERO) {
+            return fail("recovery ladder windows must be non-zero".into());
+        }
+        if self.window_ladder.windows(2).any(|w| w[0] >= w[1]) {
+            return fail("recovery ladder must be strictly ascending".into());
+        }
+        if self.fer_window == 0 {
+            return fail("FER window must track at least one attempt".into());
+        }
+        if self.fer_threshold.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return fail(format!(
+                "FER threshold {} must be positive",
+                self.fer_threshold
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn recovery_default_is_the_documented_ladder() {
+        let p = RecoveryPolicy::default();
+        p.validate().unwrap();
+        let rungs: Vec<u64> = p.window_ladder.iter().map(|w| w.raw()).collect();
+        assert_eq!(rungs, vec![15_000, 30_000, 60_000]);
+    }
+
+    #[test]
+    fn recovery_validation_rejects_degenerate_policies() {
+        let bad = [
+            RecoveryPolicy {
+                window_ladder: vec![],
+                ..RecoveryPolicy::default()
+            },
+            RecoveryPolicy {
+                window_ladder: vec![Cycles::new(30_000), Cycles::new(15_000)],
+                ..RecoveryPolicy::default()
+            },
+            RecoveryPolicy {
+                window_ladder: vec![Cycles::ZERO],
+                ..RecoveryPolicy::default()
+            },
+            RecoveryPolicy {
+                fer_window: 0,
+                ..RecoveryPolicy::default()
+            },
+            RecoveryPolicy {
+                fer_threshold: 0.0,
+                ..RecoveryPolicy::default()
+            },
+        ];
+        for p in bad {
+            assert!(p.validate().is_err(), "accepted {p:?}");
+        }
+        RecoveryPolicy::disabled().validate().unwrap();
+    }
 
     #[test]
     fn default_is_the_papers_operating_point() {

@@ -28,11 +28,11 @@ mod spy;
 mod trojan;
 pub mod wide;
 
-pub use config::{ChannelConfig, EvictionStrategy};
+pub use config::{ChannelConfig, EvictionStrategy, RecoveryPolicy};
 pub use leak::{bits_to_bytes, bytes_to_bits, LeakOutcome};
 pub use message::{alternating_bits, paper_100_pattern, random_bits, BitErrors};
 pub use reliable::{ReliableLink, ReliableStats};
-pub use session::{Session, TransmitOutcome};
+pub use session::{RobustOutcome, Session, TransmitOutcome};
 pub use spy::SpyActor;
 pub use trojan::TrojanActor;
 pub use wide::{WideOutcome, WideSession};

@@ -1,15 +1,16 @@
 //! Establishing and running the covert channel.
 
-use mee_machine::{run_actor_refs, ActorRef};
+use mee_machine::{run_actor_refs_hooked, ActorRef, NoopHook, StepHook};
 use mee_types::{Cycles, ModelError, VirtAddr};
 
+use crate::channel::coding;
 use crate::channel::config::ChannelConfig;
 use crate::channel::message::BitErrors;
 use crate::channel::spy::SpyActor;
 use crate::channel::trojan::TrojanActor;
 use crate::recon::eviction::find_eviction_set;
 use crate::setup::{AttackSetup, Tenant};
-use crate::threshold::LatencyClassifier;
+use crate::threshold::{AdaptiveClassifier, LatencyClassifier};
 
 /// An established MEE-cache covert channel: the trojan's eviction set and
 /// the spy's monitor address, in conflict within one MEE-cache set.
@@ -31,6 +32,7 @@ pub struct Session {
 
 /// The result of one transmission.
 #[derive(Debug, Clone)]
+#[must_use = "a transmission outcome carries the decoded bits and error statistics"]
 pub struct TransmitOutcome {
     /// What the trojan sent.
     pub sent: Vec<bool>,
@@ -51,9 +53,74 @@ pub struct TransmitOutcome {
 
 impl TransmitOutcome {
     /// Bit error rate in `[0, 1]`.
+    #[must_use]
     pub fn error_rate(&self) -> f64 {
         self.errors.rate()
     }
+}
+
+/// The result of one self-healing transmission ([`Session::transmit_robust`]).
+#[derive(Debug, Clone)]
+#[must_use = "a robust outcome carries the recovered payload and recovery statistics"]
+pub struct RobustOutcome {
+    /// The recovered payload (after preamble lock, Hamming correction, and
+    /// adaptive thresholding).
+    pub received: Vec<bool>,
+    /// Positional errors of `received` against the sent payload.
+    pub errors: BitErrors,
+    /// Whether the run-length sanity check on the decoded preamble tripped
+    /// (the receiver believed it had lost window alignment).
+    pub desynced: bool,
+    /// Where the preamble re-locked, if it was not found at offset 0.
+    pub resync_offset: Option<usize>,
+    /// Whether the preamble was found at all; when `false`, `received` is
+    /// a best-effort decode at offset 0 and should be treated as corrupt.
+    pub locked: bool,
+    /// Online threshold recalibrations performed while decoding.
+    pub recalibrations: usize,
+    /// The underlying wire-level transmission.
+    pub raw: TransmitOutcome,
+}
+
+impl RobustOutcome {
+    /// Payload bit error rate in `[0, 1]` after recovery.
+    #[must_use]
+    pub fn error_rate(&self) -> f64 {
+        self.errors.rate()
+    }
+}
+
+/// The best (smallest) Hamming distance between the known preamble and any
+/// window of `decoded` starting within the first `search` offsets — the
+/// pilot-sequence score used to choose between candidate decodes.
+fn preamble_distance(decoded: &[bool], search: usize) -> usize {
+    let p = coding::PREAMBLE.len();
+    if decoded.len() < p {
+        return p;
+    }
+    (0..=search.min(decoded.len() - p))
+        .map(|k| {
+            decoded[k..k + p]
+                .iter()
+                .zip(coding::PREAMBLE.iter())
+                .filter(|(a, b)| a != b)
+                .count()
+        })
+        .min()
+        .unwrap_or(p)
+}
+
+/// Longest run of equal bits in `bits`.
+fn max_run(bits: &[bool]) -> usize {
+    let mut best = 0;
+    let mut run = 0;
+    let mut prev = None;
+    for &b in bits {
+        run = if prev == Some(b) { run + 1 } else { 1 };
+        best = best.max(run);
+        prev = Some(b);
+    }
+    best
 }
 
 /// Internal helper naming the handle construction for a tenant.
@@ -200,6 +267,24 @@ impl Session {
         bits: &[bool],
         noise: &mut [ActorRef<'_>],
     ) -> Result<TransmitOutcome, ModelError> {
+        self.transmit_hooked(setup, bits, noise, &mut NoopHook)
+    }
+
+    /// Like [`Self::transmit_with_noise`] but with a [`StepHook`] observing
+    /// (and possibly perturbing) the machine before every scheduler step —
+    /// the entry point the fault injector uses. The hook sees global time
+    /// in scheduling order, so a seeded fault plan replays exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors, including errors raised by the hook.
+    pub fn transmit_hooked(
+        &self,
+        setup: &mut AttackSetup,
+        bits: &[bool],
+        noise: &mut [ActorRef<'_>],
+        hook: &mut dyn StepHook,
+    ) -> Result<TransmitOutcome, ModelError> {
         let window = self.config.window;
         // Agree on a start boundary comfortably after both clocks.
         let now = setup
@@ -231,7 +316,7 @@ impl Session {
             for (core, proc, actor) in noise.iter_mut() {
                 actors.push((*core, *proc, &mut **actor));
             }
-            run_actor_refs(&mut setup.machine, &mut actors, horizon)?;
+            run_actor_refs_hooked(&mut setup.machine, &mut actors, horizon, hook)?;
         }
 
         let received = spy.decoded_bits();
@@ -247,6 +332,106 @@ impl Session {
             elapsed,
             kbps,
             one_costs: trojan.one_costs().to_vec(),
+        })
+    }
+
+    /// Extra all-zero tail windows appended to a robust frame so a late
+    /// preamble can still be found within the probed region.
+    pub const RESYNC_SEARCH: usize = 6;
+
+    /// Self-healing transmission: frames `payload` behind the
+    /// [`coding::PREAMBLE`] with Hamming(7,4) protection, then decodes the
+    /// received windows defensively —
+    ///
+    /// 1. **adaptive thresholding**: probe latencies are classified by an
+    ///    [`AdaptiveClassifier`] that re-centers the hit/miss threshold
+    ///    online as faults move the clusters;
+    /// 2. **desync detection**: the decoded preamble region is
+    ///    sanity-checked (a run of ≥ 4 equal bits, impossible in the
+    ///    `10101011` pattern even under a single flip, means window
+    ///    alignment was lost);
+    /// 3. **resync**: the receiver re-locks by scanning for the preamble
+    ///    (one flip tolerated) within [`Self::RESYNC_SEARCH`] window
+    ///    offsets, recovering transmissions whose start boundary slipped.
+    ///
+    /// The fault `hook` applies to the wire transmission, as in
+    /// [`Self::transmit_hooked`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors, including errors raised by the hook.
+    pub fn transmit_robust(
+        &self,
+        setup: &mut AttackSetup,
+        payload: &[bool],
+        hook: &mut dyn StepHook,
+    ) -> Result<RobustOutcome, ModelError> {
+        let mut wire = coding::frame(payload);
+        wire.extend(std::iter::repeat_n(false, Self::RESYNC_SEARCH));
+        let raw = self.transmit_hooked(setup, &wire, &mut [], hook)?;
+
+        // Receiver-side decode over the de-biased probe samples (probe 0 is
+        // the prime probe, not a bit), done twice: once with the setup-time
+        // calibrated threshold and once with the online adaptive
+        // classifier. The known preamble then acts as a pilot sequence —
+        // the stream that reads it more cleanly wins, so a thrashing
+        // adaptive threshold can never make the decode worse than the
+        // calibrated one.
+        let fixed_classifier = LatencyClassifier {
+            threshold: self.classifier.threshold,
+            bias: Cycles::ZERO,
+        };
+        let fixed: Vec<bool> = raw
+            .probe_times
+            .iter()
+            .skip(1)
+            .map(|&t| fixed_classifier.is_versions_miss(t))
+            .collect();
+        let mut adaptive = AdaptiveClassifier::new(fixed_classifier);
+        let adapted: Vec<bool> = raw
+            .probe_times
+            .iter()
+            .skip(1)
+            .map(|&t| adaptive.observe(t))
+            .collect();
+        let decoded = if preamble_distance(&adapted, Self::RESYNC_SEARCH)
+            < preamble_distance(&fixed, Self::RESYNC_SEARCH)
+        {
+            adapted
+        } else {
+            fixed
+        };
+
+        let preamble_len = coding::PREAMBLE.len();
+        let head = &decoded[..preamble_len.min(decoded.len())];
+        let head_distance = head
+            .iter()
+            .zip(coding::PREAMBLE.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+            + preamble_len.saturating_sub(head.len());
+        let desynced = max_run(head) >= 4 || head_distance > 1;
+
+        let lock = coding::locate_preamble(&decoded, Self::RESYNC_SEARCH, 1);
+        let received = match lock {
+            Some(k) => coding::hamming_decode(&decoded[k + preamble_len..], payload.len()),
+            // Unrecoverable: best-effort decode at offset 0 so the caller
+            // still gets payload-shaped bits (and a CRC above will reject
+            // them).
+            None => coding::hamming_decode(
+                &decoded[preamble_len.min(decoded.len())..],
+                payload.len(),
+            ),
+        };
+        let errors = BitErrors::compare(payload, &received);
+        Ok(RobustOutcome {
+            received,
+            errors,
+            desynced,
+            resync_offset: lock.filter(|&k| k > 0),
+            locked: lock.is_some(),
+            recalibrations: adaptive.recalibrations(),
+            raw,
         })
     }
 }
@@ -320,6 +505,72 @@ mod tests {
         assert!(rate < 0.08, "error rate {rate} too high");
         // And the bit rate is the paper's 35 KBps ballpark.
         assert!((30.0..=40.0).contains(&out.kbps), "kbps = {}", out.kbps);
+    }
+
+    #[test]
+    fn robust_transmit_is_clean_on_a_quiet_machine() {
+        let mut setup = AttackSetup::quiet(76).unwrap();
+        let session = Session::establish(&mut setup, &ChannelConfig::default()).unwrap();
+        let payload = random_bits(40, 76);
+        let out = session
+            .transmit_robust(&mut setup, &payload, &mut NoopHook)
+            .unwrap();
+        assert_eq!(out.received, payload);
+        assert!(out.locked, "preamble must lock at offset 0");
+        assert!(!out.desynced);
+        assert_eq!(out.resync_offset, None);
+        assert_eq!(out.error_rate(), 0.0);
+    }
+
+    #[test]
+    fn robust_transmit_detects_a_jammed_preamble() {
+        use mee_faults::{FaultInjector, FaultKind, FaultPlan};
+
+        let mut setup = AttackSetup::quiet(77).unwrap();
+        let session = Session::establish(&mut setup, &ChannelConfig::default()).unwrap();
+
+        // The MEE-cache set the channel modulates.
+        let geo = *setup.machine.mee().geometry();
+        let sets = setup.machine.mee().cache().config().sets;
+        let pa = setup
+            .machine
+            .translate(session.receiver.proc, session.monitor)
+            .unwrap();
+        let set = geo
+            .version_line(geo.walk_path(pa.line()).version)
+            .set_index(sets);
+
+        // Thrash that set once per window, after the trojan's sweep but
+        // before the spy's probe, across the whole preamble region: every
+        // probe deep-misses, the preamble decodes as a solid run of 1s,
+        // and the run-length sanity check must trip.
+        let window = session.config.window;
+        let now = setup
+            .machine
+            .core_now(session.receiver.core)
+            .max(setup.machine.core_now(session.sender.core));
+        let start = Cycles::new((now.raw() / window.raw() + 3) * window.raw());
+        let mut plan = FaultPlan::none();
+        for i in 0..10u64 {
+            plan = plan.with_event(
+                start + window * i + Cycles::new(12_000),
+                FaultKind::MeeSetThrash { set },
+            );
+        }
+        let mut injector = FaultInjector::new(plan);
+        let payload = vec![false; 8];
+        let out = session
+            .transmit_robust(&mut setup, &payload, &mut injector)
+            .unwrap();
+        assert!(
+            !injector.applied().is_empty(),
+            "the plan must actually fire"
+        );
+        assert!(out.desynced, "jammed preamble must trip the sanity check");
+        assert!(
+            !out.locked || out.resync_offset.is_some(),
+            "a lock through a jammed preamble must be a re-lock"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod headline;
 pub mod mitigation;
+pub mod resilience;
 pub mod stealth;
 pub mod sweep;
 pub mod timers;
@@ -27,6 +28,9 @@ pub use fig7::{run_fig7, Fig7Result};
 pub use fig8::{run_fig8, Fig8Result, NoiseEnvironment};
 pub use headline::{run_headline, HeadlineResult};
 pub use mitigation::{run_mitigation, MitigationResult};
+pub use resilience::{
+    run_resilience, run_resilience_sweep, session_fault_targets, ResiliencePoint, ResilienceResult,
+};
 pub use stealth::{run_stealth, StealthResult};
 pub use sweep::{
     run_channel_sweep, run_fig5_sweep, run_fig6_sweep, ChannelSweepPoint, Fig5Sweep, Fig6Sweep,

@@ -85,6 +85,7 @@ pub struct ChannelSweepPoint {
 
 impl ChannelSweepPoint {
     /// Bit error rate in `[0, 1]`.
+    #[must_use]
     pub fn error_rate(&self) -> f64 {
         self.bit_errors as f64 / self.bits as f64
     }

@@ -111,6 +111,110 @@ impl LatencyClassifier {
     }
 }
 
+/// A [`LatencyClassifier`] that recalibrates its threshold online.
+///
+/// Faults move the latency clusters: a thrashed MEE set turns hits into
+/// deep misses, drift smears the probe timing, and a migration cold-starts
+/// the private caches. A fixed threshold silently decays — and a scheme
+/// that updates per-cluster averages *by its own classification* cannot
+/// recover once both clusters drift past the stale threshold. This wrapper
+/// instead keeps a sliding window of recent samples and, once the window is
+/// full, re-derives the two clusters from scratch: sort the window, split
+/// at the largest latency gap (requiring at least [`Self::MIN_CLUSTER`]
+/// samples on each side, so stray deep-walk outliers cannot define a
+/// cluster), and re-center the threshold 40% of the way up the gap — the
+/// same placement [`LatencyClassifier::calibrate`] uses. Everything is
+/// integer arithmetic, so recalibration is bit-deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptiveClassifier {
+    current: LatencyClassifier,
+    window: Vec<u64>,
+    cursor: usize,
+    recalibrations: usize,
+}
+
+impl AdaptiveClassifier {
+    /// Sliding-window size (samples).
+    pub const WINDOW: usize = 32;
+    /// Minimum samples per cluster for a split to be credible.
+    pub const MIN_CLUSTER: usize = 4;
+    /// Minimum latency gap (cycles) between clusters for a split to be
+    /// credible — below this the window is treated as a single cluster
+    /// (e.g. a long run of equal bits) and the threshold is left alone.
+    pub const MIN_GAP: u64 = 80;
+    /// Recalibrate only when the proposed threshold differs from the
+    /// current one by more than this many cycles.
+    pub const RECAL_MARGIN: u64 = 40;
+
+    /// Starts from a calibrated classifier.
+    #[must_use]
+    pub fn new(base: LatencyClassifier) -> Self {
+        AdaptiveClassifier {
+            current: base,
+            window: Vec::with_capacity(Self::WINDOW),
+            cursor: 0,
+            recalibrations: 0,
+        }
+    }
+
+    /// The classifier as currently calibrated.
+    #[must_use]
+    pub fn classifier(&self) -> LatencyClassifier {
+        self.current
+    }
+
+    /// How many times the threshold has been re-centered.
+    #[must_use]
+    pub fn recalibrations(&self) -> usize {
+        self.recalibrations
+    }
+
+    /// Classifies one raw sample (`true` = versions miss, the signal for a
+    /// `1`) with the *current* threshold, then folds the sample into the
+    /// window and re-centers the threshold if the window's clusters have
+    /// drifted away from it.
+    pub fn observe(&mut self, raw: Cycles) -> bool {
+        let miss = self.current.is_versions_miss(raw);
+        let sample = self.current.debias(raw).raw();
+        if self.window.len() < Self::WINDOW {
+            self.window.push(sample);
+        } else {
+            self.window[self.cursor] = sample;
+            self.cursor = (self.cursor + 1) % Self::WINDOW;
+        }
+        if self.window.len() == Self::WINDOW {
+            self.recalibrate();
+        }
+        miss
+    }
+
+    fn recalibrate(&mut self) {
+        let mut sorted = self.window.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let mut best_gap = 0u64;
+        let mut split = 0usize;
+        for i in Self::MIN_CLUSTER..=(n - Self::MIN_CLUSTER) {
+            let gap = sorted[i] - sorted[i - 1];
+            if gap > best_gap {
+                best_gap = gap;
+                split = i;
+            }
+        }
+        if best_gap < Self::MIN_GAP {
+            return;
+        }
+        let (lo, hi) = sorted.split_at(split);
+        let lo_mean = lo.iter().sum::<u64>() / lo.len() as u64;
+        let hi_mean = hi.iter().sum::<u64>() / hi.len() as u64;
+        let target = lo_mean + (hi_mean - lo_mean) * 2 / 5;
+        if target.abs_diff(self.current.threshold.raw()) > Self::RECAL_MARGIN {
+            self.current.threshold = Cycles::new(target);
+            self.recalibrations += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +256,58 @@ mod tests {
         let t = &setup.machine.config().timing;
         assert!(cal.is_versions_hit(t.protected_hit_latency(0)));
         assert!(cal.is_versions_miss(t.protected_hit_latency(1)));
+    }
+
+    #[test]
+    fn adaptive_classifier_tracks_a_drifting_gap() {
+        // Start with a threshold placed for clusters at 480/750, then feed
+        // samples from clusters that drifted up by 300 cycles. A fixed
+        // classifier would call the new 780-cycle hits "misses" forever;
+        // the adaptive one re-centers after a handful of samples.
+        let base = LatencyClassifier {
+            threshold: Cycles::new(590),
+            bias: Cycles::ZERO,
+        };
+        let mut a = AdaptiveClassifier::new(base);
+        // Seed both clusters at the original operating point.
+        for _ in 0..4 {
+            a.observe(Cycles::new(480));
+            a.observe(Cycles::new(750));
+        }
+        assert_eq!(a.recalibrations(), 0, "no drift, no recalibration");
+        // Clusters drift upward; keep feeding alternating samples.
+        for _ in 0..40 {
+            a.observe(Cycles::new(780));
+            a.observe(Cycles::new(1_050));
+        }
+        assert!(a.recalibrations() > 0);
+        let t = a.classifier().threshold;
+        assert!(
+            (Cycles::new(820)..=Cycles::new(960)).contains(&t),
+            "threshold {t} should sit 40% up the drifted gap"
+        );
+        // And the recalibrated classifier separates the drifted clusters.
+        assert!(a.classifier().is_versions_hit(Cycles::new(780)));
+        assert!(a.classifier().is_versions_miss(Cycles::new(1_050)));
+    }
+
+    #[test]
+    fn adaptive_classifier_is_stable_on_a_steady_channel() {
+        let base = LatencyClassifier {
+            threshold: Cycles::new(590),
+            bias: Cycles::ZERO,
+        };
+        let mut a = AdaptiveClassifier::new(base);
+        for i in 0..200u64 {
+            // Small deterministic jitter around the nominal clusters.
+            a.observe(Cycles::new(475 + (i % 7)));
+            a.observe(Cycles::new(745 + (i % 11)));
+        }
+        assert!(
+            a.recalibrations() <= 1,
+            "steady clusters caused {} recalibrations",
+            a.recalibrations()
+        );
     }
 
     #[test]

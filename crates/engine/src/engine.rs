@@ -186,6 +186,42 @@ impl Mee {
         self.fill_mask = mask;
     }
 
+    /// Drops every line of the MEE cache — a whole-cache flush event (e.g.
+    /// an aggressive co-runner or a power-management flush). The integrity
+    /// tree itself is untouched: the next walk of any address re-fetches and
+    /// re-verifies from DRAM, it does not fault.
+    pub fn flush_cache(&mut self) {
+        self.cache.invalidate_all();
+    }
+
+    /// Drops every resident line of one MEE-cache set (a co-runner's
+    /// eviction set thrashing exactly that set); returns how many lines
+    /// were dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range for the cache geometry.
+    pub fn flush_cache_set(&mut self, set: usize) -> usize {
+        self.cache.invalidate_set(set)
+    }
+
+    /// Drops the per-block walk footprint of `data_line` from the MEE
+    /// cache: its versions line and its PD_Tag line. Upper tree levels are
+    /// shared across wide address ranges and are left resident — this is
+    /// the footprint an EPC page eviction (`EWB`/`ELDU` rewriting the
+    /// block's counters) invalidates. Returns how many lines were dropped.
+    pub fn evict_walk_footprint(&mut self, data_line: LineAddr) -> usize {
+        let geo = *self.tree.geometry();
+        if !geo.covers(data_line.base()) {
+            return 0;
+        }
+        let path = geo.walk_path(data_line);
+        let mut dropped = 0;
+        dropped += usize::from(self.cache.invalidate(geo.version_line(path.version)));
+        dropped += usize::from(self.cache.invalidate(geo.pd_tag_line(path.version)));
+        dropped
+    }
+
     /// Serves a protected-region read that missed the on-chip hierarchy.
     ///
     /// # Errors

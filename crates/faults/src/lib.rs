@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! Deterministic, seed-driven fault injection for the simulated machine.
+//!
+//! The covert channel of the paper runs on a live machine: the OS preempts
+//! the spy mid-window (CacheZoom-style interrupt storms), the scheduler
+//! migrates threads across cores, the SGX driver evicts EPC pages, timers
+//! drift between hyperthreads, and co-runners thrash the very MEE-cache
+//! sets the channel modulates. This crate turns that adversity into a
+//! *replayable script*: a [`FaultPlan`] is a sorted list of
+//! `(cycle, FaultKind)` events, and a [`FaultInjector`] is a
+//! [`StepHook`](mee_machine::StepHook) that applies every due event just
+//! before the scheduler steps an actor, in global clock order.
+//!
+//! Because plans are generated from a seed (split per session with
+//! [`mee_rng::stream_seed`]) and applied at deterministic global times,
+//! the same seed and plan reproduce bit-identical transcripts — faults
+//! included. That is what makes the robustness experiments in the parent
+//! crate auditable: a "heavy" run can be replayed cycle-for-cycle.
+//!
+//! # Example
+//!
+//! ```
+//! use mee_faults::{FaultInjector, FaultIntensity, FaultPlan, FaultTargets};
+//! use mee_machine::CoreId;
+//! use mee_types::Cycles;
+//!
+//! let targets = FaultTargets::cores(CoreId::new(0), CoreId::new(1));
+//! let plan = FaultPlan::generate(
+//!     FaultIntensity::Light,
+//!     &targets,
+//!     Cycles::new(100_000),
+//!     Cycles::new(2_000_000),
+//!     2019,
+//! );
+//! assert!(!plan.is_empty());
+//! let injector = FaultInjector::new(plan.clone());
+//! // Same seed, same plan — replayable by construction.
+//! assert_eq!(
+//!     plan,
+//!     FaultPlan::generate(
+//!         FaultIntensity::Light,
+//!         &targets,
+//!         Cycles::new(100_000),
+//!         Cycles::new(2_000_000),
+//!         2019,
+//!     )
+//! );
+//! assert_eq!(injector.applied().len(), 0);
+//! ```
+
+mod injector;
+mod plan;
+
+pub use injector::FaultInjector;
+pub use plan::{FaultEvent, FaultIntensity, FaultKind, FaultPlan, FaultTargets};

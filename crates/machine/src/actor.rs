@@ -182,6 +182,33 @@ pub fn run_actors(
 /// [`run_actor_refs`].
 pub type ActorRef<'a> = (CoreId, ProcId, &'a mut (dyn Actor + 'static));
 
+/// A scheduler hook invoked before every actor step, with the global
+/// simulation time (the clock of the actor about to run). The fault
+/// injector lives behind this trait: it applies every scheduled fault
+/// whose time has passed, from *outside* any core's instruction stream,
+/// while the scheduler's global clock order keeps the result
+/// deterministic.
+pub trait StepHook {
+    /// Called with the machine and the current global time before each
+    /// step. May mutate the machine (clocks, caches); the scheduler
+    /// re-selects the next actor afterwards.
+    ///
+    /// # Errors
+    ///
+    /// An error aborts the run and propagates to the caller.
+    fn before_step(&mut self, machine: &mut Machine, now: Cycles) -> Result<(), ModelError>;
+}
+
+/// The do-nothing hook [`run_actor_refs`] runs with.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopHook;
+
+impl StepHook for NoopHook {
+    fn before_step(&mut self, _machine: &mut Machine, _now: Cycles) -> Result<(), ModelError> {
+        Ok(())
+    }
+}
+
 /// Like [`run_actors`] but borrowing the actors, so callers keep ownership
 /// of concrete actor types and can inspect their results after the run.
 ///
@@ -192,6 +219,21 @@ pub fn run_actor_refs(
     machine: &mut Machine,
     actors: &mut [ActorRef<'_>],
     horizon: Cycles,
+) -> Result<(), ModelError> {
+    run_actor_refs_hooked(machine, actors, horizon, &mut NoopHook)
+}
+
+/// Like [`run_actor_refs`] with a [`StepHook`] consulted before every step
+/// — the entry point for deterministic fault injection.
+///
+/// # Errors
+///
+/// Same conditions as [`run_actors`], plus any error raised by the hook.
+pub fn run_actor_refs_hooked(
+    machine: &mut Machine,
+    actors: &mut [ActorRef<'_>],
+    horizon: Cycles,
+    hook: &mut dyn StepHook,
 ) -> Result<(), ModelError> {
     // Validate bindings.
     let mut seen = vec![false; machine.core_count()];
@@ -214,13 +256,22 @@ pub fn run_actor_refs(
 
     loop {
         // Pick the runnable actor with the smallest core clock.
-        let next = actors
-            .iter()
-            .enumerate()
-            .filter(|(i, (core, _, _))| !done[*i] && machine.core_now(*core) < horizon)
-            .min_by_key(|(_, (core, _, _))| machine.core_now(*core))
-            .map(|(i, _)| i);
-        let Some(i) = next else {
+        let pick = |machine: &Machine, done: &[bool]| {
+            actors
+                .iter()
+                .enumerate()
+                .filter(|(i, (core, _, _))| !done[*i] && machine.core_now(*core) < horizon)
+                .min_by_key(|(_, (core, _, _))| machine.core_now(*core))
+                .map(|(i, _)| i)
+        };
+        let Some(i) = pick(machine, &done) else {
+            return Ok(());
+        };
+        // The hook sees the global time (the chosen actor's clock) and may
+        // move clocks or scrub caches; re-pick afterwards so the selection
+        // respects whatever it did.
+        hook.before_step(machine, machine.core_now(actors[i].0))?;
+        let Some(i) = pick(machine, &done) else {
             return Ok(());
         };
 
@@ -404,6 +455,67 @@ mod tests {
             actor: Box::new(Stuck),
         }];
         assert!(run_actors(&mut m, &mut bindings, Cycles::new(1000)).is_err());
+    }
+
+    #[test]
+    fn hook_runs_at_global_time_and_may_move_clocks() {
+        /// Preempts core 0 for 15_000 cycles the first time global time
+        /// passes 2_000, and records every `now` it saw.
+        struct PreemptOnce {
+            fired: bool,
+            times: Vec<u64>,
+        }
+        impl StepHook for PreemptOnce {
+            fn before_step(
+                &mut self,
+                machine: &mut Machine,
+                now: Cycles,
+            ) -> Result<(), ModelError> {
+                self.times.push(now.raw());
+                if !self.fired && now >= Cycles::new(2_000) {
+                    self.fired = true;
+                    machine.preempt_until(CoreId::new(0), now + Cycles::new(15_000));
+                }
+                Ok(())
+            }
+        }
+        let (mut m, p, _) = setup();
+        let mut hook = PreemptOnce {
+            fired: false,
+            times: Vec::new(),
+        };
+        let mut spinner = Spinner;
+        let mut actors: Vec<ActorRef<'_>> = vec![(CoreId::new(0), p, &mut spinner)];
+        run_actor_refs_hooked(&mut m, &mut actors, Cycles::new(10_000), &mut hook).unwrap();
+        assert!(hook.fired);
+        // Global times are monotone (the hook never observes time going
+        // backwards), and the preemption pushed the final clock past the
+        // horizon plus the burst.
+        assert!(hook.times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(m.core_now(CoreId::new(0)) >= Cycles::new(10_000));
+    }
+
+    #[test]
+    fn hook_errors_abort_the_run() {
+        struct Abort;
+        impl StepHook for Abort {
+            fn before_step(
+                &mut self,
+                _machine: &mut Machine,
+                _now: Cycles,
+            ) -> Result<(), ModelError> {
+                Err(ModelError::InvalidConfig {
+                    reason: "hook abort".into(),
+                })
+            }
+        }
+        let (mut m, p, _) = setup();
+        let mut spinner = Spinner;
+        let mut actors: Vec<ActorRef<'_>> = vec![(CoreId::new(0), p, &mut spinner)];
+        assert!(matches!(
+            run_actor_refs_hooked(&mut m, &mut actors, Cycles::new(1_000), &mut Abort),
+            Err(ModelError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

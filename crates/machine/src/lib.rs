@@ -49,6 +49,9 @@ mod actor;
 mod config;
 mod machine;
 
-pub use actor::{run_actor_refs, run_actors, Actor, ActorBinding, ActorRef, CoreHandle, StepOutcome};
+pub use actor::{
+    run_actor_refs, run_actor_refs_hooked, run_actors, Actor, ActorBinding, ActorRef, CoreHandle,
+    NoopHook, StepHook, StepOutcome,
+};
 pub use config::{MachineConfig, PolicyKind};
 pub use machine::{CoreId, Machine, ProcId};

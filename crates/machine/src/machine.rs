@@ -202,6 +202,17 @@ impl Machine {
         self.cores.len()
     }
 
+    /// Whether `core`'s private L1 or L2 holds `line` — for tests that
+    /// reason about migration and eviction effects from outside the crate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_caches_line(&self, core: CoreId, line: LineAddr) -> bool {
+        let c = &self.cores[core.index()];
+        c.l1.contains(line) || c.l2.contains(line)
+    }
+
     /// Creates a process with an empty address space.
     pub fn create_process(&mut self, kind: AddressSpaceKind) -> ProcId {
         self.procs.push(Process {
@@ -496,6 +507,109 @@ impl Machine {
         self.last_mee_hit
     }
 
+    // --- Fault-injection primitives -------------------------------------
+    //
+    // Structured adversity hooks for the `mee-faults` crate. These model
+    // OS- or co-runner-induced events, so none of them charges latency to
+    // the issuing instruction stream: preemption moves a core's clock
+    // forward without doing work, and the cache events happen "from the
+    // outside" (another core, the OS paging daemon) asynchronously to the
+    // victim.
+
+    /// Preempts `core` until cycle `resume`: the core executes nothing in
+    /// the burst and its clock lands at `max(now, resume)` — a
+    /// CacheZoom-style interrupt storm or a scheduler tick. In the
+    /// discrete-event model a preempted core cannot "freeze" (shared state
+    /// is touched in global clock order), so lost time is modeled as the
+    /// clock jumping past the burst. A core that had already slept past
+    /// `resume` (e.g. in a `busy_until` window wait) absorbs the interrupt
+    /// inside the sleep and loses nothing, exactly as on real hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn preempt_until(&mut self, core: CoreId, resume: Cycles) {
+        let c = &mut self.cores[core.index()];
+        c.now = c.now.max(resume);
+    }
+
+    /// Skews `core`'s clock forward by `skew` cycles — transient inter-core
+    /// timer drift (the hyperthread timer mailbox lagging, an SMI charging
+    /// time to the wrong core). Unlike [`Self::preempt_until`] the skew is
+    /// additive: it displaces whatever the core does next, even mid-sleep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn skew_clock(&mut self, core: CoreId, skew: Cycles) {
+        let c = &mut self.cores[core.index()];
+        c.now += skew;
+    }
+
+    /// Flushes `core`'s private L1/L2 caches — the architectural cost of
+    /// migrating the thread off and back onto a core (the channel's shared
+    /// state in the LLC and the MEE cache survives a migration, which is
+    /// why the attack tolerates it; pair with [`Self::preempt_until`] for
+    /// the migration downtime). Inclusion is preserved: private caches hold a
+    /// subset of the LLC, so dropping them violates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn flush_private_caches(&mut self, core: CoreId) {
+        let c = &mut self.cores[core.index()];
+        c.l1.invalidate_all();
+        c.l2.invalidate_all();
+    }
+
+    /// Flushes the entire MEE cache (a whole-cache flush event). See
+    /// [`Mee::flush_cache`].
+    pub fn flush_mee_cache(&mut self) {
+        self.mee.flush_cache();
+    }
+
+    /// Thrashes one MEE-cache set (a co-runner cycling an eviction set
+    /// through exactly that set); returns how many lines were dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range for the MEE-cache geometry.
+    pub fn thrash_mee_set(&mut self, set: usize) -> usize {
+        self.mee.flush_cache_set(set)
+    }
+
+    /// Evicts and immediately re-maps an EPC page: every line of the page
+    /// leaves the on-chip hierarchy (all L1/L2s and the LLC), and each
+    /// version block's walk footprint (versions + PD_Tag lines) leaves the
+    /// MEE cache — `EWB` re-encrypts the page out and `ELDU` loads it back
+    /// into the *same* frame with fresh counters. The mapping itself is
+    /// unchanged, so the victim's next access re-walks rather than faults.
+    /// Returns the number of MEE-cache lines dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::PageFault`] if `page` is unmapped in `proc`,
+    /// or [`ModelError::InvalidConfig`] if it is not page-aligned.
+    pub fn epc_evict_page(
+        &mut self,
+        proc: ProcId,
+        page: VirtAddr,
+    ) -> Result<usize, ModelError> {
+        self.check_alignment(page)?;
+        let pa = self.translate(proc, page)?;
+        let mut mee_dropped = 0;
+        for i in 0..(PAGE_SIZE / mee_types::LINE_SIZE) as u64 {
+            let line = LineAddr::new(pa.line().raw() + i);
+            for c in &mut self.cores {
+                c.l1.invalidate(line);
+                c.l2.invalidate(line);
+            }
+            self.llc.invalidate(line);
+            mee_dropped += self.mee.evict_walk_footprint(line);
+        }
+        Ok(mee_dropped)
+    }
+
     fn check_alignment(&self, base: VirtAddr) -> Result<(), ModelError> {
         if base.is_aligned(PAGE_SIZE) {
             Ok(())
@@ -785,5 +899,79 @@ mod tests {
         let mut m = machine();
         let p = m.create_process(AddressSpaceKind::Regular);
         assert!(m.map_pages(p, VirtAddr::new(0x123), 1).is_err());
+    }
+
+    #[test]
+    fn preempt_jumps_the_clock_without_work() {
+        let mut m = machine();
+        m.advance(CORE0, Cycles::new(100));
+        m.preempt_until(CORE0, Cycles::new(30_000));
+        assert_eq!(m.core_now(CORE0), Cycles::new(30_000));
+        assert_eq!(m.core_now(CORE1), Cycles::ZERO, "other cores unaffected");
+        // A core already past the resume point absorbed the burst in a sleep.
+        m.preempt_until(CORE0, Cycles::new(10_000));
+        assert_eq!(m.core_now(CORE0), Cycles::new(30_000));
+        // Clock drift is additive even then.
+        m.skew_clock(CORE0, Cycles::new(250));
+        assert_eq!(m.core_now(CORE0), Cycles::new(30_250));
+    }
+
+    #[test]
+    fn flush_private_caches_spares_llc_and_other_cores() {
+        let mut m = machine();
+        let (p, base) = enclave_with_pages(&mut m, 1);
+        m.read(CORE0, p, base).unwrap();
+        m.read(CORE1, p, base).unwrap();
+        let line = m.translate(p, base).unwrap().line();
+        m.flush_private_caches(CORE0);
+        // Core 0's private copies are gone; LLC and core 1 keep theirs.
+        assert!(m.llc.contains(line));
+        assert!(!m.cores[0].l1.contains(line) && !m.cores[0].l2.contains(line));
+        assert!(m.cores[1].l1.contains(line));
+        assert!(m.check_inclusion().is_none());
+    }
+
+    #[test]
+    fn mee_flush_and_set_thrash_force_deeper_walks() {
+        let mut m = machine();
+        let (p, base) = enclave_with_pages(&mut m, 1);
+        m.read(CORE0, p, base).unwrap();
+        assert!(m.mee().cache().occupancy() > 0);
+        m.flush_mee_cache();
+        assert_eq!(m.mee().cache().occupancy(), 0);
+        // Refill, then thrash exactly the versions set.
+        m.clflush(CORE0, p, base).unwrap();
+        m.read(CORE0, p, base).unwrap();
+        let geo = *m.mee().geometry();
+        let sets = m.mee().cache().config().sets;
+        let line = m.translate(p, base).unwrap().line();
+        let vset = geo
+            .version_line(geo.walk_path(line).version)
+            .set_index(sets);
+        assert!(m.thrash_mee_set(vset) > 0);
+        // The versions line is gone: the next flushed read misses Versions.
+        m.clflush(CORE0, p, base).unwrap();
+        m.read(CORE0, p, base).unwrap();
+        assert_ne!(m.last_mee_hit(), Some(mee_engine::HitLevel::Versions));
+    }
+
+    #[test]
+    fn epc_evict_drops_page_lines_and_walk_footprint() {
+        let mut m = machine();
+        let (p, base) = enclave_with_pages(&mut m, 2);
+        m.read(CORE0, p, base).unwrap();
+        let line = m.translate(p, base).unwrap().line();
+        let dropped = m.epc_evict_page(p, base).unwrap();
+        assert!(dropped > 0, "walk footprint should have been resident");
+        assert!(!m.line_cached_anywhere(line));
+        // The page stays mapped: the next access re-walks, not faults, and
+        // misses the versions level (fresh counters after ELDU).
+        m.read(CORE0, p, base).unwrap();
+        assert_ne!(m.last_mee_hit(), Some(mee_engine::HitLevel::Versions));
+        // Unaligned / unmapped targets are rejected.
+        assert!(m.epc_evict_page(p, base + 64u64).is_err());
+        assert!(m
+            .epc_evict_page(p, VirtAddr::new(0xdead_d000))
+            .is_err());
     }
 }

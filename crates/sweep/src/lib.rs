@@ -40,6 +40,47 @@ use mee_rng::stream_seed;
 /// built with [`Sweep::new`].
 pub const THREADS_ENV: &str = "MEE_SWEEP_THREADS";
 
+/// A rejected `MEE_SWEEP_THREADS` override: the raw value that failed to
+/// parse as a positive thread count (zero, negative, non-numeric, or
+/// overflowing `usize`).
+///
+/// Mirrors the policy of the bench harness's argument parsing: a typo'd
+/// override is a hard error with the offending value echoed back, never a
+/// silent fallback to a default.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadsEnvError {
+    /// The offending raw value of the variable.
+    pub value: String,
+}
+
+impl std::fmt::Display for ThreadsEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid {THREADS_ENV} value {:?} (must be a positive integer, e.g. {THREADS_ENV}=4)",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for ThreadsEnvError {}
+
+/// Parses a `MEE_SWEEP_THREADS` override.
+///
+/// # Errors
+///
+/// Returns a [`ThreadsEnvError`] echoing the value when it is not a
+/// positive integer that fits in `usize` (`"0"`, `"-2"`, `"many"`, and
+/// a 30-digit overflow all fail the same way).
+pub fn parse_threads_override(value: &str) -> Result<usize, ThreadsEnvError> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(ThreadsEnvError {
+            value: value.to_owned(),
+        }),
+    }
+}
+
 /// One session of a seed sweep: its position in the sweep and the RNG seed
 /// derived for it.
 ///
@@ -88,17 +129,26 @@ impl Sweep {
     /// # Panics
     ///
     /// Panics if `MEE_SWEEP_THREADS` is set but not a positive integer — a
-    /// typo'd override must never silently fall back to a default.
+    /// typo'd override must never silently fall back to a default. Use
+    /// [`Sweep::from_env`] to handle the error instead.
     pub fn new() -> Self {
+        Self::from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The fallible form of [`Sweep::new`]: reads `MEE_SWEEP_THREADS` and
+    /// reports a bad override as a value instead of panicking, so binaries
+    /// can exit with a usage message the way they do for bad CLI flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ThreadsEnvError`] when the variable is set to anything
+    /// but a positive integer (zero, garbage, or an overflowing number).
+    pub fn from_env() -> Result<Self, ThreadsEnvError> {
         let threads = match std::env::var(THREADS_ENV) {
-            Ok(v) => v
-                .parse()
-                .ok()
-                .filter(|&n| n > 0)
-                .unwrap_or_else(|| panic!("{THREADS_ENV} must be a positive integer, got {v:?}")),
+            Ok(v) => parse_threads_override(&v)?,
             Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
         };
-        Sweep { threads }
+        Ok(Sweep { threads })
     }
 
     /// A single-threaded sweep (the serial reference execution).
@@ -296,6 +346,46 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_rejected() {
         let _ = Sweep::with_threads(0);
+    }
+
+    #[test]
+    fn threads_override_parsing_accepts_positive_integers_only() {
+        assert_eq!(parse_threads_override("1"), Ok(1));
+        assert_eq!(parse_threads_override("64"), Ok(64));
+        assert_eq!(parse_threads_override(" 8 "), Ok(8), "whitespace trimmed");
+        for bad in ["0", "-2", "", "many", "4.5", "0x10", "999999999999999999999999999999"] {
+            let err = parse_threads_override(bad).unwrap_err();
+            assert_eq!(err.value, bad, "error must echo the offending value");
+            let msg = err.to_string();
+            assert!(
+                msg.contains(THREADS_ENV) && msg.contains("positive integer"),
+                "unhelpful error for {bad:?}: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_env_surfaces_bad_overrides_as_errors() {
+        // Env vars are process-global: this is the only test in the crate
+        // that touches MEE_SWEEP_THREADS, and it restores the prior state.
+        let prior = std::env::var(THREADS_ENV).ok();
+
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(Sweep::from_env().unwrap().thread_count(), 3);
+
+        std::env::set_var(THREADS_ENV, "0");
+        let err = Sweep::from_env().unwrap_err();
+        assert_eq!(err.value, "0");
+
+        std::env::set_var(THREADS_ENV, "lots");
+        assert!(Sweep::from_env().is_err());
+
+        std::env::remove_var(THREADS_ENV);
+        assert!(Sweep::from_env().unwrap().thread_count() >= 1);
+
+        if let Some(v) = prior {
+            std::env::set_var(THREADS_ENV, v);
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! | [`tree`] | the SGX-style integrity tree (counters + MACs) |
 //! | [`engine`] | the MEE: tree walk over the MEE cache, hit-level timing |
 //! | [`machine`] | multi-core machine, enclave processes, actor scheduler |
+//! | [`faults`] | deterministic fault plans + the replayable injector |
 //! | [`attack`] | the paper: reverse engineering, channels, experiments |
 //!
 //! # Quickstart
@@ -49,6 +50,7 @@
 pub use mee_attack as attack;
 pub use mee_cache as cache;
 pub use mee_engine as engine;
+pub use mee_faults as faults;
 pub use mee_machine as machine;
 pub use mee_mem as mem;
 pub use mee_rng as rng;

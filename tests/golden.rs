@@ -17,7 +17,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use mee_covert::attack::channel::ChannelConfig;
-use mee_covert::attack::experiments::{run_fig5, run_fig6_with};
+use mee_covert::attack::experiments::{run_fig5, run_fig6_with, run_resilience};
 use mee_covert::engine::HitLevel;
 use mee_covert::testbed;
 
@@ -117,4 +117,17 @@ fn fig6_ber_table_matches_snapshot() {
         writeln!(s, "ours bit {i} sent {} got {}", sent as u8, got as u8).unwrap();
     }
     check_golden("fig6_ber_table.txt", &s);
+}
+
+/// Pins the whole seed-2019 resilience table — fault counts, raw/robust
+/// BER, residuals, retransmissions, ladder escalations, final windows and
+/// goodput for all three plans. Any drift in the fault injector, the
+/// recovery stack, or their RNG streams shows up as a table diff.
+#[test]
+fn resilience_table_matches_snapshot() {
+    let r = run_resilience(testbed::SEED, 48).unwrap();
+    let mut s = String::new();
+    writeln!(s, "# resilience seed={} bits=48", testbed::SEED).unwrap();
+    write!(s, "{r}").unwrap();
+    check_golden("resilience_table.txt", &s);
 }

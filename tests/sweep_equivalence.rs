@@ -37,3 +37,30 @@ fn parallel_channel_sweep_is_byte_identical_to_serial() {
         assert_eq!(point.seed, mee_covert::rng::stream_seed(testbed::SEED, spec.index as u64));
     }
 }
+
+/// The resilience sweep — whose sessions replay seed-derived fault plans,
+/// retransmit, and widen their windows — is just as schedule-independent
+/// as the clean channel sweep: parallel runs are byte-identical to serial.
+#[test]
+fn parallel_resilience_sweep_is_byte_identical_to_serial() {
+    use mee_covert::attack::experiments::run_resilience_sweep;
+
+    let bits = 24;
+    let serial =
+        run_resilience_sweep(&SweepPlan::new(testbed::SEED, 2).threads(1), bits).unwrap();
+    assert_eq!(serial.len(), 2);
+    for threads in [2usize, 8] {
+        let parallel =
+            run_resilience_sweep(&SweepPlan::new(testbed::SEED, 2).threads(threads), bits)
+                .unwrap();
+        assert_eq!(serial, parallel, "{threads} threads diverged from serial");
+        assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+    }
+    // Each session's result must match its standalone replay: the sweep
+    // adds scheduling, never state.
+    for (spec, result) in &serial {
+        let replay =
+            mee_covert::attack::experiments::run_resilience(spec.seed, bits).unwrap();
+        assert_eq!(*result, replay, "session {} diverged from replay", spec.index);
+    }
+}
