@@ -17,6 +17,14 @@ for example in quickstart covert_channel noisy_channel prime_probe_failure \
   cargo run --release --offline --example "${example}" >/dev/null
 done
 
+# The invariant registry: exhaustive model-checking-lite tier at the full
+# budget, then the fixed-seed property tier. Any counterexample prints a
+# one-line replay recipe and exits 1, failing CI here.
+echo "== spec: exhaustive tier"
+cargo run --release --offline -p mee-spec -- --tier exhaustive --budget full
+echo "== spec: property tier"
+cargo run --release --offline -p mee-spec -- --tier property
+
 # Smoke-run the parallel seed-sweep bench (2 sessions via MEE_BENCH_SAMPLES
 # has no effect here; scale 1 = 4 sessions, 64 bits each) and hold the
 # BENCH_sweep.json aggregate to its schema: a missing key means a consumer

@@ -32,15 +32,15 @@ pub struct Bench {
 impl Bench {
     /// A benchmark named `name` with harness defaults (16 warmup
     /// iterations, 50 samples, 1 operation per sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `MEE_BENCH_SAMPLES` is set but not a positive integer
+    /// (zero would produce an empty sample vector and fail much later
+    /// with a confusing "no samples" message).
     pub fn new(name: impl Into<String>) -> Self {
-        let samples = std::env::var("MEE_BENCH_SAMPLES")
-            .ok()
-            .map(|v| {
-                v.parse().unwrap_or_else(|_| {
-                    panic!("MEE_BENCH_SAMPLES must be a positive integer, got {v:?}")
-                })
-            })
-            .unwrap_or(50);
+        let samples =
+            mee_rng::env_knob::positive_from_env::<usize>("MEE_BENCH_SAMPLES").unwrap_or(50);
         Bench {
             name: name.into(),
             warmup_iters: 16,

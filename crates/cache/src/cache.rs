@@ -413,6 +413,40 @@ mod tests {
         assert_eq!(r.evicted, Some(l0), "contains() perturbed LRU state");
     }
 
+    /// Pinned spec-harness counterexample (invariant
+    /// `invalidated-way-preferred`, exact op trace): invalidating a line
+    /// must update the PLRU tree so the freed way is the preferred victim.
+    /// With the pre-fix no-op `TreePlru::on_invalidate`, the masked fill
+    /// below evicted D (the stale tree still pointed at way 2) instead of
+    /// falling back from the freed-but-disallowed way 1 to way 0.
+    #[test]
+    fn invalidate_updates_plru_victim_state() {
+        let cfg = CacheConfig::from_capacity(4 * 64, 4, 64).unwrap(); // 1 set x 4 ways
+        let mut c = SetAssocCache::new(cfg, Box::new(TreePlru::new()));
+        let (a, b, d, e) = (
+            LineAddr::new(0),
+            LineAddr::new(1),
+            LineAddr::new(2),
+            LineAddr::new(3),
+        );
+        c.access(a); // way 0
+        c.access(b); // way 1
+        c.access(d); // way 2
+        c.access(e); // way 3
+        c.access(a); // hit: tree points away from way 0
+        c.access(b); // hit: tree points away from way 1 (victim would be way 2)
+        assert!(c.invalidate(b)); // frees way 1; tree must now point AT way 1
+        // Way-partitioned fill that may not use the freed way: the policy
+        // falls back from way 1 to the first allowed way (0), evicting A.
+        let mask = [true, false, true, true];
+        let r = c.access_in_ways(LineAddr::new(4), &mask);
+        assert_eq!(
+            r.evicted,
+            Some(a),
+            "stale PLRU bits survived on_invalidate"
+        );
+    }
+
     #[test]
     fn way_mask_restricts_fills() {
         let cfg = CacheConfig::from_capacity(8 * 64, 8, 64).unwrap(); // 1 set x 8 ways

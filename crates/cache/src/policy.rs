@@ -181,7 +181,28 @@ impl ReplacementPolicy for TreePlru {
         }
     }
 
-    fn on_invalidate(&mut self, _set: usize, _way: usize) {}
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        // Inverse of `touch`: walk from the root *toward* the invalidated
+        // way, so the next victim search lands on it. Leaving the bits
+        // stale would keep evicting live lines while the freed way sits
+        // idle until some unrelated fill happens to re-point the path.
+        let base = set * (self.ways - 1);
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = self.ways;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let right = way >= mid;
+            self.bits[base + node] = right;
+            if right {
+                node = 2 * node + 2;
+                lo = mid;
+            } else {
+                node = 2 * node + 1;
+                hi = mid;
+            }
+        }
+    }
 
     fn name(&self) -> &'static str {
         "tree-plru"
@@ -467,6 +488,50 @@ mod tests {
             lru.on_fill(0, lv);
         }
         assert!(diverged, "tree-PLRU behaved exactly like true LRU");
+    }
+
+    /// Pinned spec-harness counterexample (invariant
+    /// `invalidated-way-preferred`): with 2 ways, tree-PLRU is exactly LRU,
+    /// so after `fill 0, fill 1, invalidate 1` the victim must be way 1.
+    /// The pre-fix no-op `on_invalidate` left the bits pointing at way 0.
+    #[test]
+    fn plru_invalidate_points_tree_at_freed_way() {
+        let mut p = TreePlru::new();
+        p.attach(1, 2);
+        p.on_fill(0, 0);
+        p.on_fill(0, 1);
+        p.on_invalidate(0, 1);
+        assert_eq!(p.victim(0, &all_allowed(2)), 1);
+    }
+
+    /// After filling every way, a single invalidation makes that way the
+    /// preferred victim — for every deterministic policy.
+    #[test]
+    fn invalidated_way_is_preferred_victim() {
+        for ways in [2usize, 4, 8] {
+            for way in 0..ways {
+                let policies: Vec<Box<dyn ReplacementPolicy>> = vec![
+                    Box::new(TrueLru::new()),
+                    Box::new(TreePlru::new()),
+                    Box::new(Fifo::new()),
+                    Box::new(Nru::new()),
+                    Box::new(Srrip::new()),
+                ];
+                for mut p in policies {
+                    p.attach(1, ways);
+                    for w in 0..ways {
+                        p.on_fill(0, w);
+                    }
+                    p.on_invalidate(0, way);
+                    assert_eq!(
+                        p.victim(0, &all_allowed(ways)),
+                        way,
+                        "{} did not prefer invalidated way {way} of {ways}",
+                        p.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

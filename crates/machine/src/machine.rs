@@ -241,6 +241,7 @@ impl Machine {
     /// errors; returns [`ModelError::InvalidConfig`] if `base` is not
     /// page-aligned.
     pub fn map_pages(&mut self, proc: ProcId, base: VirtAddr, count: usize) -> Result<(), ModelError> {
+        self.check_proc(proc)?;
         self.check_alignment(base)?;
         let enclave = self.is_enclave(proc);
         for i in 0..count {
@@ -269,6 +270,7 @@ impl Machine {
         base: VirtAddr,
         count: usize,
     ) -> Result<(), ModelError> {
+        self.check_proc(proc)?;
         self.check_alignment(base)?;
         let enclave = self.is_enclave(proc);
         for i in 0..count {
@@ -300,6 +302,7 @@ impl Machine {
         base: VirtAddr,
         count: usize,
     ) -> Result<(), ModelError> {
+        self.check_proc(proc)?;
         self.check_alignment(base)?;
         if self.is_enclave(proc) {
             return Err(ModelError::IllegalInEnclave {
@@ -320,8 +323,11 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError::PageFault`] for unmapped addresses.
+    /// Returns [`ModelError::PageFault`] for unmapped addresses and
+    /// [`ModelError::NoSuchProcess`] for a process id this machine never
+    /// issued.
     pub fn translate(&self, proc: ProcId, va: VirtAddr) -> Result<PhysAddr, ModelError> {
+        self.check_proc(proc)?;
         self.procs[proc.index()].space.translate(va)
     }
 
@@ -330,7 +336,9 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Returns page-fault, bad-address, or integrity-violation errors.
+    /// Returns page-fault, bad-address, or integrity-violation errors, and
+    /// [`ModelError::NoSuchCore`]/[`ModelError::NoSuchProcess`] for ids
+    /// this machine never issued.
     pub fn read(&mut self, core: CoreId, proc: ProcId, va: VirtAddr) -> Result<Cycles, ModelError> {
         self.mem_op(core, proc, va, None)
     }
@@ -380,6 +388,7 @@ impl Machine {
     ///
     /// Returns [`ModelError::PageFault`] for unmapped addresses.
     pub fn clflush(&mut self, core: CoreId, proc: ProcId, va: VirtAddr) -> Result<Cycles, ModelError> {
+        self.check_core(core)?;
         let pa = self.translate(proc, va)?;
         let line = pa.line();
         for c in &mut self.cores {
@@ -405,6 +414,8 @@ impl Machine {
     ///
     /// Returns [`ModelError::IllegalInEnclave`] when `proc` is an enclave.
     pub fn rdtsc(&mut self, core: CoreId, proc: ProcId) -> Result<Cycles, ModelError> {
+        self.check_core(core)?;
+        self.check_proc(proc)?;
         if self.is_enclave(proc) {
             return Err(ModelError::IllegalInEnclave {
                 instruction: "rdtsc",
@@ -610,6 +621,30 @@ impl Machine {
         Ok(mee_dropped)
     }
 
+    /// Rejects out-of-range core ids on the fallible instruction paths, so
+    /// a `CoreId` minted for a bigger machine surfaces as a typed error
+    /// instead of an index panic. Infallible paths (clock queries, fault
+    /// primitives) keep their documented panics: widening every signature
+    /// to `Result` would make each call site handle an error that a correct
+    /// actor binding can never produce.
+    fn check_core(&self, core: CoreId) -> Result<(), ModelError> {
+        if core.index() < self.cores.len() {
+            Ok(())
+        } else {
+            Err(ModelError::NoSuchCore { core: core.index() })
+        }
+    }
+
+    /// Same as [`Self::check_core`] for process ids (a `ProcId` from one
+    /// machine used on another).
+    fn check_proc(&self, proc: ProcId) -> Result<(), ModelError> {
+        if proc.index() < self.procs.len() {
+            Ok(())
+        } else {
+            Err(ModelError::NoSuchProcess { proc: proc.index() })
+        }
+    }
+
     fn check_alignment(&self, base: VirtAddr) -> Result<(), ModelError> {
         if base.is_aligned(PAGE_SIZE) {
             Ok(())
@@ -636,6 +671,7 @@ impl Machine {
         va: VirtAddr,
         store: Option<u64>,
     ) -> Result<Cycles, ModelError> {
+        self.check_core(core)?;
         let pa = self.translate(proc, va)?;
         let kind = self.layout.classify(pa)?;
         if kind == RegionKind::IntegrityTree {
@@ -892,6 +928,49 @@ mod tests {
         m.advance(CORE0, Cycles::new(100));
         assert_eq!(m.core_now(CORE0), Cycles::new(100));
         assert_eq!(m.core_now(CORE1), Cycles::ZERO);
+    }
+
+    /// Foreign ids surface as typed errors on every fallible instruction
+    /// path, never as index panics (spec-harness invariant `prm-bounds`).
+    #[test]
+    fn foreign_ids_yield_typed_errors() {
+        let mut m = machine();
+        let (p, base) = enclave_with_pages(&mut m, 1);
+        let bad_core = CoreId::new(m.core_count() + 3);
+        assert!(matches!(
+            m.read(bad_core, p, base),
+            Err(ModelError::NoSuchCore { .. })
+        ));
+        assert!(matches!(
+            m.write(bad_core, p, base, 1),
+            Err(ModelError::NoSuchCore { .. })
+        ));
+        assert!(matches!(
+            m.clflush(bad_core, p, base),
+            Err(ModelError::NoSuchCore { .. })
+        ));
+        // A ProcId from a bigger machine: mint one legitimately elsewhere.
+        let mut other = machine();
+        for _ in 0..3 {
+            other.create_process(AddressSpaceKind::Regular);
+        }
+        let foreign = other.create_process(AddressSpaceKind::Regular);
+        assert!(matches!(
+            m.read(CORE0, foreign, base),
+            Err(ModelError::NoSuchProcess { .. })
+        ));
+        assert!(matches!(
+            m.rdtsc(CORE0, foreign),
+            Err(ModelError::NoSuchProcess { .. })
+        ));
+        assert!(matches!(
+            m.map_pages(foreign, base, 1),
+            Err(ModelError::NoSuchProcess { .. })
+        ));
+        assert!(matches!(
+            m.translate(foreign, base),
+            Err(ModelError::NoSuchProcess { .. })
+        ));
     }
 
     #[test]

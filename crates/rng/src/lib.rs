@@ -25,6 +25,7 @@
 
 mod xoshiro;
 
+pub mod env_knob;
 pub mod prop;
 
 pub use xoshiro::{splitmix64, stream_seed, Rng, Sample, SampleRange};

@@ -30,7 +30,7 @@
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use crate::{splitmix64, stream_seed, Rng};
+use crate::{env_knob, splitmix64, stream_seed, Rng};
 
 /// Base seed from which per-case seeds are derived (the paper's year, like
 /// every other default seed in the workspace).
@@ -62,19 +62,16 @@ impl PropConfig {
     ///
     /// # Panics
     ///
-    /// Panics if either variable is set but not a valid integer — a typo'd
-    /// override must never silently fall back to a default run.
+    /// Panics if either variable is set but malformed — a typo'd override
+    /// must never silently fall back to a default run. `MEE_PROP_CASES=0`
+    /// is rejected too: zero cases would make every property pass
+    /// vacuously.
     pub fn from_env(default_cases: u32) -> Self {
         let mut cfg = Self::new(default_cases);
-        if let Ok(v) = std::env::var("MEE_PROP_CASES") {
-            cfg.cases = v
-                .parse()
-                .unwrap_or_else(|_| panic!("MEE_PROP_CASES must be an integer, got {v:?}"));
+        if let Some(cases) = env_knob::positive_from_env::<u32>("MEE_PROP_CASES") {
+            cfg.cases = cases;
         }
-        if let Ok(v) = std::env::var("MEE_PROP_SEED") {
-            let seed = v
-                .parse()
-                .unwrap_or_else(|_| panic!("MEE_PROP_SEED must be a u64, got {v:?}"));
+        if let Some(seed) = env_knob::unsigned_from_env::<u64>("MEE_PROP_SEED") {
             cfg.replay = Some(seed);
         }
         cfg

@@ -1,0 +1,163 @@
+//! Counterexamples and their one-line replay recipes.
+//!
+//! Every invariant violation found by any tier is reported as a
+//! [`Counterexample`]: the invariant name, the configuration under test, the
+//! exact operation trace, and a human-readable detail. Its [`Display`]
+//! rendering is a **single line** ending in a copy-pasteable replay command,
+//! so a CI failure log is enough to reproduce the bug locally.
+//!
+//! [`Display`]: std::fmt::Display
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One invariant violation, with everything needed to replay it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Name of the violated invariant (one of [`crate::INVARIANTS`]).
+    pub invariant: &'static str,
+    /// Configuration under test, as `key=value` pairs (e.g.
+    /// `policy=tree-plru ways=4`).
+    pub config: String,
+    /// The exact operation trace, in the domain's compact token format.
+    pub trace: String,
+    /// What went wrong, human-readable.
+    pub detail: String,
+    /// For seeded-property failures: the failing case seed.
+    pub seed: Option<u64>,
+}
+
+impl Counterexample {
+    /// The machine-readable replay recipe: `invariant|config|trace`.
+    pub fn recipe(&self) -> String {
+        format!("{}|{}|{}", self.invariant, self.config, self.trace)
+    }
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "counterexample: `{}` [{}] trace `{}`: {}",
+            self.invariant, self.config, self.trace, self.detail
+        )?;
+        match self.seed {
+            Some(seed) => write!(
+                f,
+                " | replay: MEE_PROP_SEED={seed} cargo run -q --release -p mee-spec -- --tier property"
+            ),
+            None => write!(
+                f,
+                " | replay: cargo run -q --release -p mee-spec -- --replay '{}'",
+                self.recipe()
+            ),
+        }
+    }
+}
+
+/// Splits a recipe produced by [`Counterexample::recipe`] back into its
+/// `(invariant, config, trace)` parts.
+///
+/// # Errors
+///
+/// Returns a message if the recipe does not contain two `|` separators.
+pub fn parse_recipe(recipe: &str) -> Result<(&str, &str, &str), String> {
+    let mut parts = recipe.splitn(3, '|');
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some(inv), Some(cfg), Some(trace)) => Ok((inv.trim(), cfg.trim(), trace.trim())),
+        _ => Err(format!(
+            "malformed replay recipe {recipe:?} (expected `invariant|config|trace`)"
+        )),
+    }
+}
+
+/// Parses a whitespace-separated `key=value` config string into a map.
+///
+/// # Errors
+///
+/// Returns a message naming the first token without a `=`.
+pub fn parse_config(config: &str) -> Result<BTreeMap<&str, &str>, String> {
+    let mut map = BTreeMap::new();
+    for token in config.split_whitespace() {
+        let (k, v) = token
+            .split_once('=')
+            .ok_or_else(|| format!("config token {token:?} is not `key=value`"))?;
+        map.insert(k, v);
+    }
+    Ok(map)
+}
+
+/// Looks up a required key in a parsed config map.
+///
+/// # Errors
+///
+/// Returns a message naming the missing key.
+pub fn require<'a>(map: &BTreeMap<&str, &'a str>, key: &str) -> Result<&'a str, String> {
+    map.get(key)
+        .copied()
+        .ok_or_else(|| format!("config is missing `{key}=`"))
+}
+
+/// Parses a required `usize` value from a parsed config map.
+///
+/// # Errors
+///
+/// Returns a message if the key is missing or not an integer.
+pub fn require_usize(map: &BTreeMap<&str, &str>, key: &str) -> Result<usize, String> {
+    require(map, key)?
+        .parse()
+        .map_err(|_| format!("config `{key}` is not an integer"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Counterexample {
+        Counterexample {
+            invariant: "victim-from-allowed-ways",
+            config: "policy=tree-plru ways=4".into(),
+            trace: "f0 f1 i2".into(),
+            detail: "victim(0b0100) returned way 0".into(),
+            seed: None,
+        }
+    }
+
+    #[test]
+    fn display_is_one_line_with_recipe() {
+        let s = sample().to_string();
+        assert_eq!(s.lines().count(), 1, "not one line: {s}");
+        assert!(s.contains("--replay 'victim-from-allowed-ways|policy=tree-plru ways=4|f0 f1 i2'"));
+    }
+
+    #[test]
+    fn seeded_display_points_at_property_tier() {
+        let cx = Counterexample {
+            seed: Some(77),
+            ..sample()
+        };
+        let s = cx.to_string();
+        assert_eq!(s.lines().count(), 1);
+        assert!(s.contains("MEE_PROP_SEED=77"));
+        assert!(s.contains("--tier property"));
+    }
+
+    #[test]
+    fn recipe_round_trips() {
+        let cx = sample();
+        let recipe = cx.recipe();
+        let (inv, cfg, trace) = parse_recipe(&recipe).unwrap();
+        assert_eq!(inv, cx.invariant);
+        assert_eq!(cfg, cx.config);
+        assert_eq!(trace, cx.trace);
+    }
+
+    #[test]
+    fn config_parsing() {
+        let map = parse_config("policy=lru ways=8 mode=mru").unwrap();
+        assert_eq!(require(&map, "policy").unwrap(), "lru");
+        assert_eq!(require_usize(&map, "ways").unwrap(), 8);
+        assert!(require(&map, "sets").is_err());
+        assert!(parse_config("oops").is_err());
+    }
+}

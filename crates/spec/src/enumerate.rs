@@ -1,0 +1,82 @@
+//! Exhaustive program enumeration.
+//!
+//! The model-checking-lite tier does not sample: it walks *every* program up
+//! to a length bound over a small op alphabet. The domain modules map each
+//! symbol index to a concrete operation.
+
+/// Calls `f` with every program of length `1..=max_len` over an alphabet of
+/// `symbols` symbols, in lexicographic order. Each program is a slice of
+/// symbol indices. Enumeration stops early when `f` returns `false`.
+///
+/// # Panics
+///
+/// Panics if `symbols` is zero (an empty alphabet has no programs).
+pub fn for_each_program(symbols: usize, max_len: usize, mut f: impl FnMut(&[usize]) -> bool) {
+    assert!(symbols > 0, "empty op alphabet");
+    let mut program = Vec::with_capacity(max_len);
+    for len in 1..=max_len {
+        program.clear();
+        program.resize(len, 0);
+        loop {
+            if !f(&program) {
+                return;
+            }
+            // Odometer increment, least-significant digit last.
+            let mut pos = len;
+            loop {
+                if pos == 0 {
+                    break;
+                }
+                pos -= 1;
+                program[pos] += 1;
+                if program[pos] < symbols {
+                    break;
+                }
+                program[pos] = 0;
+            }
+            if program.iter().all(|&s| s == 0) {
+                break; // wrapped around: this length is exhausted
+            }
+        }
+    }
+}
+
+/// Number of programs [`for_each_program`] visits: `Σ symbols^k` for
+/// `k = 1..=max_len`.
+pub fn program_count(symbols: usize, max_len: usize) -> u64 {
+    (1..=max_len)
+        .map(|len| (symbols as u64).pow(len as u32))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visits_every_program_once() {
+        let mut seen = Vec::new();
+        for_each_program(3, 2, |p| {
+            seen.push(p.to_vec());
+            true
+        });
+        assert_eq!(seen.len() as u64, program_count(3, 2));
+        assert_eq!(seen.len(), 3 + 9);
+        let mut dedup = seen.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seen.len(), "duplicate programs emitted");
+        assert!(seen.contains(&vec![2, 2]));
+        assert!(seen.contains(&vec![0]));
+    }
+
+    #[test]
+    fn early_stop_is_respected() {
+        let mut count = 0;
+        for_each_program(4, 3, |_| {
+            count += 1;
+            count < 7
+        });
+        assert_eq!(count, 7);
+    }
+}

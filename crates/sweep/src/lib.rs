@@ -73,12 +73,12 @@ impl std::error::Error for ThreadsEnvError {}
 /// positive integer that fits in `usize` (`"0"`, `"-2"`, `"many"`, and
 /// a 30-digit overflow all fail the same way).
 pub fn parse_threads_override(value: &str) -> Result<usize, ThreadsEnvError> {
-    match value.trim().parse::<usize>() {
-        Ok(n) if n > 0 => Ok(n),
-        _ => Err(ThreadsEnvError {
-            value: value.to_owned(),
-        }),
-    }
+    // Delegates to the workspace-wide knob grammar so MEE_SWEEP_THREADS
+    // accepts and rejects exactly what MEE_PROP_CASES / MEE_BENCH_SAMPLES
+    // do; the sweep-specific error type stays for API stability.
+    mee_rng::env_knob::parse_positive::<usize>(THREADS_ENV, value).map_err(|_| ThreadsEnvError {
+        value: value.to_owned(),
+    })
 }
 
 /// One session of a seed sweep: its position in the sweep and the RNG seed

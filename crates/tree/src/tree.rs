@@ -230,6 +230,12 @@ impl IntegrityTree {
     ///
     /// Panics if `node` is out of range for `level`.
     pub fn tamper_counter(&mut self, level: TreeLevel, node: u64) {
+        assert!(
+            node < self.geo.lines_at(level),
+            "tamper_counter: node {node} out of range for {level:?} \
+             ({} lines)",
+            self.geo.lines_at(level)
+        );
         match level {
             TreeLevel::Version => {
                 // Counters *in* a version line are the per-data-line ones.

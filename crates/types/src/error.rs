@@ -54,6 +54,12 @@ pub enum ModelError {
         /// The out-of-range core index.
         core: usize,
     },
+    /// An instruction referenced a process that does not exist — typically
+    /// a `ProcId` from one machine used on another.
+    NoSuchProcess {
+        /// The out-of-range process index.
+        proc: usize,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -78,6 +84,7 @@ impl fmt::Display for ModelError {
                 write!(f, "integrity violation at {line} (tree level {level})")
             }
             ModelError::NoSuchCore { core } => write!(f, "no such core: {core}"),
+            ModelError::NoSuchProcess { proc } => write!(f, "no such process: {proc}"),
         }
     }
 }

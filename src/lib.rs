@@ -27,6 +27,7 @@
 //! | [`machine`] | multi-core machine, enclave processes, actor scheduler |
 //! | [`faults`] | deterministic fault plans + the replayable injector |
 //! | [`attack`] | the paper: reverse engineering, channels, experiments |
+//! | [`spec`] | executable invariant specs: exhaustive + property tiers, differential oracle |
 //!
 //! # Quickstart
 //!
@@ -54,6 +55,7 @@ pub use mee_faults as faults;
 pub use mee_machine as machine;
 pub use mee_mem as mem;
 pub use mee_rng as rng;
+pub use mee_spec as spec;
 pub use mee_sweep as sweep;
 pub use mee_tree as tree;
 pub use mee_types as types;

@@ -1,0 +1,87 @@
+//! Integration smoke for the `mee-spec` invariant harness: the exhaustive
+//! tier at smoke budget must be counterexample-free, pinned pre-fix recipes
+//! must replay clean, and the differential oracle must both round-trip a
+//! real two-actor covert session (identical builds ⇒ empty diff) and stay
+//! *sensitive* (different MEE policies ⇒ non-empty diff).
+
+use mee_covert::machine::PolicyKind;
+use mee_covert::spec::oracle::{
+    channel_machine, covert_exchange_trace, decode_exchange, run_trace, DifferentialOracle,
+};
+use mee_covert::spec::{replay, run_exhaustive, Budget};
+
+#[test]
+fn exhaustive_smoke_budget_finds_nothing() {
+    let found = run_exhaustive(&Budget::smoke());
+    assert!(
+        found.is_empty(),
+        "exhaustive tier found counterexamples:\n{}",
+        found
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The traces that exposed the pre-fix `on_invalidate` bugs, as replayable
+/// recipes. They must pass forever; a regression turns them back into
+/// counterexamples with one-line repro commands.
+#[test]
+fn pinned_prefix_recipes_replay_clean() {
+    let recipes = [
+        // Tree-PLRU: stale tree bits after invalidate steered the victim
+        // away from the freed way.
+        "invalidated-way-preferred|policy=tree-plru ways=2|f0 f1 i1",
+        "invalidated-way-preferred|policy=tree-plru ways=4|f0 f1 f2 f3 i2",
+        // True-LRU: the invalidated way must be demoted to LRU, keeping the
+        // 2-way PLRU/LRU equivalence intact across invalidates.
+        "invalidated-way-preferred|policy=lru ways=4|f0 f1 f2 f3 i0",
+        "plru-within-lru|mode=equiv sets=1 ways=2|a0 a1 i0 a2 a0 a1",
+        // Masked fills must obey the way mask after any history.
+        "victim-from-allowed-ways|policy=tree-plru ways=4|f0 h0 f1 f2 f3 h2",
+    ];
+    for recipe in recipes {
+        match replay(recipe) {
+            Ok(None) => {}
+            Ok(Some(cx)) => panic!("pinned recipe regressed: {cx}"),
+            Err(e) => panic!("pinned recipe {recipe:?} failed to parse: {e}"),
+        }
+    }
+}
+
+#[test]
+fn differential_oracle_round_trips_a_covert_session() {
+    let sent = [true, false, true, true, false, false, true, false];
+    let x = covert_exchange_trace(&sent);
+
+    // Identical builds: the diff must be exactly empty.
+    let oracle = DifferentialOracle::new(
+        || channel_machine(PolicyKind::TreePlru),
+        || channel_machine(PolicyKind::TreePlru),
+    );
+    let diff = oracle.run(&x.trace).unwrap();
+    assert!(diff.is_empty(), "identical machines diverged: {diff}");
+
+    // And the session itself must actually carry the message.
+    let (mut m, procs) = channel_machine(PolicyKind::TreePlru).unwrap();
+    let t = run_trace(&mut m, &procs, &x.trace);
+    assert_eq!(decode_exchange(&t, &x), sent, "channel decode failed");
+}
+
+/// The oracle is only useful if it *catches* behavioural drift: swapping
+/// the MEE replacement policy must show up in the transcript of a session
+/// whose whole point is MEE-cache eviction timing.
+#[test]
+fn differential_oracle_detects_policy_drift() {
+    let x = covert_exchange_trace(&[true, false, true, false]);
+    let oracle = DifferentialOracle::new(
+        || channel_machine(PolicyKind::TreePlru),
+        || channel_machine(PolicyKind::Fifo),
+    );
+    let diff = oracle.run(&x.trace).unwrap();
+    assert!(
+        !diff.is_empty(),
+        "Tree-PLRU vs FIFO produced identical transcripts on an eviction-timing trace"
+    );
+}
