@@ -49,4 +49,16 @@ for key in name root_seed sessions threads bits_per_session raw_ber_off \
   grep -q "\"${key}\":" BENCH_resilience.json ||
     { echo "BENCH_resilience.json schema drift: missing key '${key}'" >&2; exit 1; }
 done
+
+# Smoke-run the traced-session exporter (seed 2019, light fault plan) and
+# hold BENCH_trace.json to its schema. The binary itself exits non-zero if
+# the four event categories are not all present or if the traced metrics
+# do not reconcile exactly with the engine's end-of-run statistics, so
+# this also gates the observability invariants.
+echo "== bench-trace smoke"
+cargo run --release --offline -p mee-bench --bin bench-trace -- 2019 1 >/dev/null
+for key in traceEvents displayTimeUnit meta meeMetrics hostProfile; do
+  grep -q "\"${key}\":" BENCH_trace.json ||
+    { echo "BENCH_trace.json schema drift: missing key '${key}'" >&2; exit 1; }
+done
 echo "ci.sh: all checks passed"

@@ -2,8 +2,9 @@
 //! transmission, one per *figure-generating* code path, so regressions in
 //! the expensive experiment drivers are caught early.
 //!
-//! One JSON line per benchmark on stdout. Replaces the former criterion
-//! `channel` bench with the in-tree harness so the suite builds offline.
+//! One JSON line per benchmark on stdout; `--out <path>` mirrors the
+//! lines to a file. Replaces the former criterion `channel` bench with
+//! the in-tree harness so the suite builds offline.
 
 use mee_attack::channel::{random_bits, ChannelConfig, Session};
 use mee_attack::recon::capacity::eviction_trial;
@@ -11,10 +12,12 @@ use mee_attack::recon::eviction::find_eviction_set;
 use mee_attack::setup::AttackSetup;
 use mee_attack::threshold::LatencyClassifier;
 use mee_bench::harness::Bench;
+use mee_bench::output::JsonlWriter;
+use mee_bench::HarnessArgs;
 use mee_sweep::Sweep;
 
-fn bench_algorithm1() {
-    Bench::new("recon/algorithm1_find_eviction_set")
+fn bench_algorithm1(w: &mut JsonlWriter) {
+    let r = Bench::new("recon/algorithm1_find_eviction_set")
         .samples(10)
         .run_batched(
             || AttackSetup::quiet(11).unwrap(),
@@ -24,12 +27,12 @@ fn bench_algorithm1() {
                 let mut cpu = setup.trojan_handle();
                 find_eviction_set(&mut cpu, &candidates, &cls, 1).unwrap()
             },
-        )
-        .emit();
+        );
+    w.line_or_exit(&r.json_line());
 }
 
-fn bench_capacity_trial() {
-    Bench::new("recon/capacity_trial_k64")
+fn bench_capacity_trial(w: &mut JsonlWriter) {
+    let r = Bench::new("recon/capacity_trial_k64")
         .samples(10)
         .run_batched(
             || AttackSetup::quiet(12).unwrap(),
@@ -37,23 +40,23 @@ fn bench_capacity_trial() {
                 let cls = LatencyClassifier::from_timing(&setup.machine.config().timing);
                 eviction_trial(&mut setup, 64, 0, &cls).unwrap()
             },
-        )
-        .emit();
+        );
+    w.line_or_exit(&r.json_line());
 }
 
-fn bench_establish() {
-    Bench::new("channel/establish")
+fn bench_establish(w: &mut JsonlWriter) {
+    let r = Bench::new("channel/establish")
         .samples(10)
         .run_batched(
             || AttackSetup::quiet(13).unwrap(),
             |mut setup| Session::establish(&mut setup, &ChannelConfig::default()).unwrap(),
-        )
-        .emit();
+        );
+    w.line_or_exit(&r.json_line());
 }
 
-fn bench_transmit() {
+fn bench_transmit(w: &mut JsonlWriter) {
     let bits = 128usize;
-    Bench::new("channel/transmit_128_bits")
+    let r = Bench::new("channel/transmit_128_bits")
         .samples(10)
         .run_batched(
             || {
@@ -65,17 +68,17 @@ fn bench_transmit() {
                 let payload = random_bits(bits, 14);
                 session.transmit(&mut setup, &payload).unwrap()
             },
-        )
-        .emit();
+        );
+    w.line_or_exit(&r.json_line());
 }
 
-fn bench_establish_sweep() {
+fn bench_establish_sweep(w: &mut JsonlWriter) {
     // Four full establishments dispatched through the parallel sweep
     // runner (thread count from MEE_SWEEP_THREADS or the host). Compare
     // against 4× `channel/establish` to read off the parallel speedup;
     // results are bit-identical to serial regardless.
     let runner = Sweep::new();
-    Bench::new(format!(
+    let r = Bench::new(format!(
         "sweep/establish_x4_threads_{}",
         runner.thread_count()
     ))
@@ -86,14 +89,16 @@ fn bench_establish_sweep() {
             Session::establish(&mut setup, &ChannelConfig::sweep_setup()).unwrap();
             spec.index
         })
-    })
-    .emit();
+    });
+    w.line_or_exit(&r.json_line());
 }
 
 fn main() {
-    bench_algorithm1();
-    bench_capacity_trial();
-    bench_establish();
-    bench_transmit();
-    bench_establish_sweep();
+    let args = HarnessArgs::from_env();
+    let mut w = JsonlWriter::create_or_exit(args.out.as_deref());
+    bench_algorithm1(&mut w);
+    bench_capacity_trial(&mut w);
+    bench_establish(&mut w);
+    bench_transmit(&mut w);
+    bench_establish_sweep(&mut w);
 }

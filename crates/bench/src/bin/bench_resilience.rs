@@ -11,7 +11,7 @@
 //!   session's split seed so any cell replays standalone via
 //!   `run_resilience(seed, bits)`;
 //! * one aggregate JSON line, also written to `BENCH_resilience.json` in
-//!   the working directory;
+//!   the working directory (`--out <path>` overrides the artifact path);
 //! * `scale` multiplies the session count (2×); `--threads` /
 //!   `MEE_SWEEP_THREADS` pin the worker count, which changes wall time but
 //!   never the results.
@@ -71,7 +71,8 @@ fn main() {
         records,
     };
     report.emit();
-    let path = std::path::Path::new("BENCH_resilience.json");
+    let path = args.out_or("BENCH_resilience.json");
+    let path = path.as_path();
     if let Err(e) = report.write(path) {
         eprintln!("failed to write {}: {e}", path.display());
         std::process::exit(1);

@@ -1,11 +1,13 @@
 //! Micro-benchmarks for the simulator substrate: how fast the model
 //! itself runs (simulated cycles are free; host time is not).
 //!
-//! One JSON line per benchmark on stdout. Replaces the former criterion
-//! `simulator` bench with the in-tree harness so the suite builds
-//! offline.
+//! One JSON line per benchmark on stdout; `--out <path>` mirrors the
+//! lines to a file. Replaces the former criterion `simulator` bench with
+//! the in-tree harness so the suite builds offline.
 
 use mee_bench::harness::Bench;
+use mee_bench::output::JsonlWriter;
+use mee_bench::HarnessArgs;
 use mee_cache::policy::{TreePlru, TrueLru};
 use mee_cache::{CacheConfig, ReplacementPolicy, SetAssocCache};
 use mee_engine::Mee;
@@ -14,7 +16,7 @@ use mee_mem::{AddressSpaceKind, DramConfig, DramModel, PhysLayout};
 use mee_tree::TreeGeometry;
 use mee_types::{Cycles, LineAddr, TimingConfig, VirtAddr, PAGE_SIZE};
 
-fn bench_cache() {
+fn bench_cache(w: &mut JsonlWriter) {
     let cfg = CacheConfig::from_capacity(64 * 1024, 8, 64).unwrap();
     for (name, policy) in [
         ("cache/access_plru", Box::new(TreePlru::new()) as Box<dyn ReplacementPolicy>),
@@ -22,23 +24,25 @@ fn bench_cache() {
     ] {
         let mut cache = SetAssocCache::new(cfg, policy);
         let mut i = 0u64;
-        Bench::new(name).inner(4096).run(|| {
+        let r = Bench::new(name).inner(4096).run(|| {
             i = i.wrapping_add(97);
             cache.access(LineAddr::new(i % 4096))
-        }).emit();
+        });
+        w.line_or_exit(&r.json_line());
     }
 }
 
-fn bench_dram() {
+fn bench_dram(w: &mut JsonlWriter) {
     let mut dram = DramModel::new(DramConfig::default()).unwrap();
     let mut i = 0u64;
-    Bench::new("dram/access").inner(4096).run(|| {
+    let r = Bench::new("dram/access").inner(4096).run(|| {
         i = i.wrapping_add(513);
         dram.access(LineAddr::new(i % (1 << 20)))
-    }).emit();
+    });
+    w.line_or_exit(&r.json_line());
 }
 
-fn bench_mee_walk() {
+fn bench_mee_walk(w: &mut JsonlWriter) {
     let layout = PhysLayout::new(1 << 20, 16 << 20).unwrap();
     let geo = TreeGeometry::new(layout.prm_data(), layout.prm_tree()).unwrap();
     let mut dram = DramModel::new(DramConfig::default()).unwrap();
@@ -53,7 +57,7 @@ fn bench_mee_walk() {
     let lines = layout.prm_data().size() / 64;
     let mut i = 0u64;
     let mut clock = 0u64;
-    Bench::new("mee/protected_read_walk").inner(1024).run(|| {
+    let r = Bench::new("mee/protected_read_walk").inner(1024).run(|| {
         i = i.wrapping_add(61);
         clock += 1_000_000;
         mee.read(
@@ -62,11 +66,12 @@ fn bench_mee_walk() {
             &mut dram,
         )
         .unwrap()
-    }).emit();
+    });
+    w.line_or_exit(&r.json_line());
 }
 
-fn bench_machine_ops() {
-    Bench::new("machine/enclave_read_flush_cycle").run_batched(
+fn bench_machine_ops(w: &mut JsonlWriter) {
+    let r = Bench::new("machine/enclave_read_flush_cycle").run_batched(
         || {
             let mut m = Machine::new(MachineConfig::small()).unwrap();
             let p = m.create_process(AddressSpaceKind::Enclave);
@@ -83,17 +88,18 @@ fn bench_machine_ops() {
             }
             m
         },
-    ).emit();
-    Bench::new("machine/construction_small")
-        .run(|| Machine::new(MachineConfig::small()).unwrap())
-        .emit();
+    );
+    w.line_or_exit(&r.json_line());
+    let r = Bench::new("machine/construction_small")
+        .run(|| Machine::new(MachineConfig::small()).unwrap());
+    w.line_or_exit(&r.json_line());
 }
 
-fn bench_machine_build_sweep() {
+fn bench_machine_build_sweep(w: &mut JsonlWriter) {
     // Eight independent machine constructions through the parallel sweep
     // runner — the substrate cost of every multi-session experiment.
     let runner = mee_sweep::Sweep::new();
-    Bench::new(format!(
+    let r = Bench::new(format!(
         "sweep/machine_build_x8_threads_{}",
         runner.thread_count()
     ))
@@ -107,14 +113,16 @@ fn bench_machine_build_sweep() {
             Machine::new(cfg).unwrap();
             spec.index
         })
-    })
-    .emit();
+    });
+    w.line_or_exit(&r.json_line());
 }
 
 fn main() {
-    bench_cache();
-    bench_dram();
-    bench_mee_walk();
-    bench_machine_ops();
-    bench_machine_build_sweep();
+    let args = HarnessArgs::from_env();
+    let mut w = JsonlWriter::create_or_exit(args.out.as_deref());
+    bench_cache(&mut w);
+    bench_dram(&mut w);
+    bench_mee_walk(&mut w);
+    bench_machine_ops(&mut w);
+    bench_machine_build_sweep(&mut w);
 }

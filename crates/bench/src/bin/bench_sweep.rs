@@ -10,7 +10,7 @@
 //!   seed, so a suspicious session replays standalone — see
 //!   EXPERIMENTS.md "Running sweeps");
 //! * one aggregate JSON line, also written to `BENCH_sweep.json` in the
-//!   working directory;
+//!   working directory (`--out <path>` overrides the artifact path);
 //! * `scale` multiplies both the session count (4×) and the payload
 //!   (64 bits ×); `--threads` / `MEE_SWEEP_THREADS` pin the worker count,
 //!   which changes wall time but never the results.
@@ -72,7 +72,8 @@ fn main() {
         records,
     };
     report.emit();
-    let path = std::path::Path::new("BENCH_sweep.json");
+    let path = args.out_or("BENCH_sweep.json");
+    let path = path.as_path();
     if let Err(e) = report.write(path) {
         eprintln!("failed to write {}: {e}", path.display());
         std::process::exit(1);

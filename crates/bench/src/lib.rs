@@ -19,11 +19,12 @@
 //! bench-simulator` / `--bin bench-channel`.
 
 pub mod harness;
+pub mod output;
 pub mod resilience;
 pub mod sweep;
 
 /// Parsed command-line arguments for a figure binary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HarnessArgs {
     /// RNG seed for the whole experiment.
     pub seed: u64,
@@ -32,6 +33,12 @@ pub struct HarnessArgs {
     /// Worker threads for sweep-based binaries (`--threads N`); `None`
     /// defers to `MEE_SWEEP_THREADS` or the host's available parallelism.
     pub threads: Option<usize>,
+    /// Output artifact path override (`--out <path>`); `None` keeps each
+    /// binary's default (stdout only, or its conventional `BENCH_*.json`).
+    pub out: Option<std::path::PathBuf>,
+    /// Trace-ring capacity request (`--trace <events>`); `0` forces
+    /// tracing off, `None` defers to the `MEE_TRACE` environment knob.
+    pub trace: Option<u64>,
 }
 
 /// A rejected command-line argument: which position, and the bad value.
@@ -47,7 +54,8 @@ impl std::fmt::Display for ArgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "invalid {} argument {:?} (usage: [seed:u64] [scale:usize>=1] [--threads N>=1])",
+            "invalid {} argument {:?} (usage: [seed:u64] [scale:usize>=1] \
+             [--threads N>=1] [--out PATH] [--trace EVENTS])",
             self.arg, self.value
         )
     }
@@ -61,20 +69,25 @@ impl Default for HarnessArgs {
             seed: 2019, // the paper's year
             scale: 1,
             threads: None,
+            out: None,
+            trace: None,
         }
     }
 }
 
 impl HarnessArgs {
-    /// Parses `[seed] [scale] [--threads N]` from an iterator of arguments
-    /// (typically `std::env::args().skip(1)`). The `--threads` flag may
-    /// appear anywhere; the positionals keep their order.
+    /// Parses `[seed] [scale] [--threads N] [--out PATH] [--trace EVENTS]`
+    /// from an iterator of arguments (typically
+    /// `std::env::args().skip(1)`). Flags may appear anywhere; the
+    /// positionals keep their order.
     ///
     /// # Errors
     ///
     /// Returns an [`ArgError`] naming the offending argument when `seed`
-    /// is not a `u64`, `scale` is not a positive integer, or `--threads`
-    /// is missing/zero/non-numeric. Omitted arguments take their defaults.
+    /// is not a `u64`, `scale` is not a positive integer, `--threads` is
+    /// missing/zero/non-numeric, `--out` is missing its path, or `--trace`
+    /// is missing/non-numeric (`--trace 0` is valid: it forces tracing
+    /// off). Omitted arguments take their defaults.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
         let mut out = HarnessArgs::default();
         let mut positionals = Vec::new();
@@ -96,6 +109,22 @@ impl HarnessArgs {
                     });
                 }
                 out.threads = Some(threads);
+            } else if s == "--out" {
+                let v = it.next().ok_or(ArgError {
+                    arg: "out",
+                    value: "<missing>".into(),
+                })?;
+                out.out = Some(std::path::PathBuf::from(v));
+            } else if s == "--trace" {
+                let v = it.next().ok_or(ArgError {
+                    arg: "trace",
+                    value: "<missing>".into(),
+                })?;
+                let trace: u64 = v.parse().map_err(|_| ArgError {
+                    arg: "trace",
+                    value: v.clone(),
+                })?;
+                out.trace = Some(trace);
             } else {
                 positionals.push(s);
             }
@@ -134,6 +163,31 @@ impl HarnessArgs {
             }
         }
     }
+
+    /// The output artifact path: `--out` if given, else `default` — the
+    /// binary's conventional `BENCH_*.json` name in the working directory.
+    pub fn out_or(&self, default: &str) -> std::path::PathBuf {
+        self.out
+            .clone()
+            .unwrap_or_else(|| std::path::PathBuf::from(default))
+    }
+
+    /// The effective trace-ring capacity: the `--trace` flag beats the
+    /// `MEE_TRACE` environment knob; a value of `0` from either source —
+    /// or neither being set — disables tracing (`None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `MEE_TRACE` is consulted and set to a malformed value
+    /// (the workspace-wide strict-knob policy: a typo'd override must
+    /// never silently fall back to a default).
+    pub fn trace_capacity(&self) -> Option<usize> {
+        let raw = match self.trace {
+            Some(n) => usize::try_from(n).expect("trace capacity fits usize"),
+            None => mee_obs::env_capacity()?,
+        };
+        (raw > 0).then_some(raw)
+    }
 }
 
 #[cfg(test)]
@@ -143,29 +197,70 @@ mod tests {
     #[test]
     fn defaults() {
         let a = HarnessArgs::parse(Vec::<String>::new()).unwrap();
-        assert_eq!(a, HarnessArgs { seed: 2019, scale: 1, threads: None });
+        assert_eq!(a, HarnessArgs::default());
+        assert_eq!((a.seed, a.scale), (2019, 1));
+        assert_eq!(a.threads, None);
+        assert_eq!(a.out, None);
+        assert_eq!(a.trace, None);
     }
 
     #[test]
     fn parses_seed_and_scale() {
         let a = HarnessArgs::parse(vec!["7".into(), "3".into()]).unwrap();
-        assert_eq!(a, HarnessArgs { seed: 7, scale: 3, threads: None });
+        assert_eq!(a, HarnessArgs { seed: 7, scale: 3, ..HarnessArgs::default() });
     }
 
     #[test]
     fn seed_alone_is_accepted() {
         let a = HarnessArgs::parse(vec!["99".into()]).unwrap();
-        assert_eq!(a, HarnessArgs { seed: 99, scale: 1, threads: None });
+        assert_eq!(a, HarnessArgs { seed: 99, ..HarnessArgs::default() });
     }
 
     #[test]
     fn threads_flag_parses_anywhere() {
         let a = HarnessArgs::parse(vec!["--threads".into(), "4".into()]).unwrap();
-        assert_eq!(a, HarnessArgs { seed: 2019, scale: 1, threads: Some(4) });
+        assert_eq!(a, HarnessArgs { threads: Some(4), ..HarnessArgs::default() });
         let b =
             HarnessArgs::parse(vec!["7".into(), "--threads".into(), "2".into(), "3".into()])
                 .unwrap();
-        assert_eq!(b, HarnessArgs { seed: 7, scale: 3, threads: Some(2) });
+        assert_eq!(
+            b,
+            HarnessArgs { seed: 7, scale: 3, threads: Some(2), ..HarnessArgs::default() }
+        );
+    }
+
+    #[test]
+    fn out_flag_parses_and_defaults() {
+        let a = HarnessArgs::parse(vec!["--out".into(), "/tmp/x.json".into()]).unwrap();
+        assert_eq!(a.out.as_deref(), Some(std::path::Path::new("/tmp/x.json")));
+        assert_eq!(a.out_or("BENCH_x.json"), std::path::PathBuf::from("/tmp/x.json"));
+        let b = HarnessArgs::default();
+        assert_eq!(b.out_or("BENCH_x.json"), std::path::PathBuf::from("BENCH_x.json"));
+    }
+
+    #[test]
+    fn out_flag_requires_a_path() {
+        let e = HarnessArgs::parse(vec!["--out".into()]).unwrap_err();
+        assert_eq!(e.arg, "out");
+        assert_eq!(e.value, "<missing>");
+    }
+
+    #[test]
+    fn trace_flag_parses_and_zero_disables() {
+        let a = HarnessArgs::parse(vec!["--trace".into(), "4096".into()]).unwrap();
+        assert_eq!(a.trace, Some(4096));
+        assert_eq!(a.trace_capacity(), Some(4096));
+        let b = HarnessArgs::parse(vec!["--trace".into(), "0".into()]).unwrap();
+        assert_eq!(b.trace, Some(0));
+        assert_eq!(b.trace_capacity(), None, "--trace 0 forces tracing off");
+    }
+
+    #[test]
+    fn trace_flag_rejects_garbage() {
+        for bad in [vec!["--trace".into()], vec!["--trace".into(), "big".into()]] {
+            let e = HarnessArgs::parse(bad).unwrap_err();
+            assert_eq!(e.arg, "trace");
+        }
     }
 
     #[test]

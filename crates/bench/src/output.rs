@@ -1,0 +1,136 @@
+//! The shared JSON-lines output writer every `bench-*` binary routes its
+//! results through.
+//!
+//! Benchmarks print one JSON object per line on stdout so runs can be
+//! piped and diffed; `--out <path>` additionally mirrors every line to a
+//! file so CI can archive an artifact without scraping stdout. This module
+//! is that policy in one place: [`JsonlWriter::line`] always prints to
+//! stdout and appends to the mirror file when one is open, so the two
+//! views of a run can never disagree.
+
+use std::fs::File;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// A JSON-lines sink: stdout, plus an optional mirror file.
+#[derive(Debug)]
+pub struct JsonlWriter {
+    file: Option<(PathBuf, File)>,
+}
+
+impl JsonlWriter {
+    /// A writer that prints to stdout only.
+    #[must_use]
+    pub fn stdout_only() -> Self {
+        JsonlWriter { file: None }
+    }
+
+    /// A writer that prints to stdout and mirrors every line to `out`
+    /// (truncating an existing file), or stdout only when `out` is `None`
+    /// — pass `args.out.as_deref()` straight through.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation error.
+    pub fn create(out: Option<&Path>) -> io::Result<Self> {
+        let file = match out {
+            Some(p) => Some((p.to_path_buf(), File::create(p)?)),
+            None => None,
+        };
+        Ok(JsonlWriter { file })
+    }
+
+    /// Like [`JsonlWriter::create`], but exits with the error on stderr
+    /// (status 1) instead of returning it — the uniform `bench-*` policy
+    /// for an unwritable `--out` path.
+    #[must_use]
+    pub fn create_or_exit(out: Option<&Path>) -> Self {
+        Self::create(out).unwrap_or_else(|e| {
+            let shown = out.map_or_else(|| "<stdout>".into(), |p| p.display().to_string());
+            eprintln!("failed to open {shown}: {e}");
+            std::process::exit(1);
+        })
+    }
+
+    /// The mirror-file path, when one is open.
+    #[must_use]
+    pub fn path(&self) -> Option<&Path> {
+        self.file.as_ref().map(|(p, _)| p.as_path())
+    }
+
+    /// Writes one JSON line: to stdout always, and to the mirror file when
+    /// one is open. `line` must not contain a newline of its own.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the mirror file's write error (stdout errors abort the
+    /// process the way `println!` does).
+    pub fn line(&mut self, line: &str) -> io::Result<()> {
+        debug_assert!(!line.contains('\n'), "one JSON object per line");
+        println!("{line}");
+        if let Some((_, f)) = &mut self.file {
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// [`JsonlWriter::line`] with the uniform exit-on-error policy: a
+    /// failed mirror write reports the path on stderr and exits 1.
+    pub fn line_or_exit(&mut self, line: &str) {
+        if let Err(e) = self.line(line) {
+            let shown = self.path().map_or_else(|| "<stdout>".into(), |p| p.display().to_string());
+            eprintln!("failed to write {shown}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stdout_only_has_no_path() {
+        let mut w = JsonlWriter::stdout_only();
+        assert_eq!(w.path(), None);
+        w.line("{\"ok\":true}").unwrap();
+    }
+
+    #[test]
+    fn mirrors_every_line_to_the_file() {
+        let dir = std::env::temp_dir().join("mee_jsonl_writer_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        let mut w = JsonlWriter::create(Some(&path)).unwrap();
+        assert_eq!(w.path(), Some(path.as_path()));
+        w.line("{\"a\":1}").unwrap();
+        w.line("{\"b\":2}").unwrap();
+        drop(w);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "{\"a\":1}\n{\"b\":2}\n");
+    }
+
+    #[test]
+    fn create_truncates_a_previous_run() {
+        let dir = std::env::temp_dir().join("mee_jsonl_writer_truncate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        std::fs::write(&path, "stale\n").unwrap();
+        let mut w = JsonlWriter::create(Some(&path)).unwrap();
+        w.line("{\"fresh\":1}").unwrap();
+        drop(w);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"fresh\":1}\n");
+    }
+
+    #[test]
+    fn create_none_is_stdout_only() {
+        let w = JsonlWriter::create(None).unwrap();
+        assert_eq!(w.path(), None);
+    }
+
+    #[test]
+    fn unwritable_path_is_an_error() {
+        let bad = Path::new("/nonexistent-dir-mee/out.jsonl");
+        assert!(JsonlWriter::create(Some(bad)).is_err());
+    }
+}

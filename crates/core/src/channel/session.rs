@@ -168,6 +168,10 @@ impl Session {
     ) -> Result<Self, ModelError> {
         cfg.validate()?;
         let classifier = LatencyClassifier::from_timing(&setup.machine.config().timing);
+        let t0 = setup.machine.core_now(sender.core);
+        setup
+            .machine
+            .trace_phase("establish_start", cfg.trojan_candidates as u64, t0);
 
         // 1. The sender builds its eviction set.
         let candidates = sender.candidates(cfg.trojan_candidates, cfg.agreed_offset);
@@ -176,6 +180,10 @@ impl Session {
             find_eviction_set(&mut cpu, &candidates, &classifier, cfg.setup_reps)?
         };
         let eviction_set = eviction.eviction_set;
+        let t1 = setup.machine.core_now(sender.core);
+        setup
+            .machine
+            .trace_phase("eviction_set_ready", eviction_set.len() as u64, t1);
 
         // 2. The receiver searches for its monitor address.
         let spy_candidates = receiver.candidates(cfg.spy_candidates, cfg.agreed_offset);
@@ -230,6 +238,8 @@ impl Session {
                 cfg.spy_candidates
             ),
         })?;
+        let t2 = setup.machine.core_now(receiver.core);
+        setup.machine.trace_phase("monitor_found", monitor.raw(), t2);
 
         Ok(Session {
             eviction_set,
@@ -308,6 +318,9 @@ impl Session {
         let mut spy = SpyActor::new(self.monitor, window, start, bits.len(), timer_classifier);
 
         let horizon = start + window * (bits.len() as u64 + 3) + Cycles::new(100_000);
+        setup
+            .machine
+            .trace_phase("transmit_start", bits.len() as u64, start);
         {
             let mut actors: Vec<ActorRef<'_>> = vec![
                 (self.receiver.core, self.receiver.proc, &mut spy),
@@ -318,6 +331,10 @@ impl Session {
             }
             run_actor_refs_hooked(&mut setup.machine, &mut actors, horizon, hook)?;
         }
+        let t_end = setup.machine.core_now(self.receiver.core);
+        setup
+            .machine
+            .trace_phase("transmit_end", bits.len() as u64, t_end);
 
         let received = spy.decoded_bits();
         let errors = BitErrors::compare(bits, &received);
@@ -369,6 +386,9 @@ impl Session {
         let mut wire = coding::frame(payload);
         wire.extend(std::iter::repeat_n(false, Self::RESYNC_SEARCH));
         let raw = self.transmit_hooked(setup, &wire, &mut [], hook)?;
+        // Host-time span around the receiver-side decode below; wall-clock
+        // only, recorded at the end — determinism is untouched.
+        let decode_start = std::time::Instant::now();
 
         // Receiver-side decode over the de-biased probe samples (probe 0 is
         // the prime probe, not a bit), done twice: once with the setup-time
@@ -424,6 +444,11 @@ impl Session {
             ),
         };
         let errors = BitErrors::compare(payload, &received);
+        setup
+            .machine
+            .obs_mut()
+            .host
+            .record("robust_decode", decode_start.elapsed());
         Ok(RobustOutcome {
             received,
             errors,

@@ -2,6 +2,7 @@
 
 use mee_cache::{CacheConfig, ReplacementPolicy, SetAssocCache};
 use mee_mem::DramModel;
+use mee_obs::{EventKind, NullTracer, Tracer, WalkLevel};
 use mee_tree::{IntegrityTree, TreeGeometry, TreeLevel};
 use mee_types::{Cycles, LineAddr, ModelError, TimingConfig};
 
@@ -235,7 +236,24 @@ impl Mee {
         now: Cycles,
         dram: &mut DramModel,
     ) -> Result<MeeRead, ModelError> {
-        let access = self.walk(data_line, now, dram)?;
+        self.read_traced(data_line, now, dram, &mut NullTracer)
+    }
+
+    /// [`Self::read`] with walk steps and MEE-cache evictions reported to
+    /// `tracer`. The tracer observes the walk; it cannot change it, so
+    /// tracing on/off leaves outcomes bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::read`].
+    pub fn read_traced(
+        &mut self,
+        data_line: LineAddr,
+        now: Cycles,
+        dram: &mut DramModel,
+        tracer: &mut dyn Tracer,
+    ) -> Result<MeeRead, ModelError> {
+        let access = self.walk(data_line, now, dram, tracer)?;
         self.stats.reads += 1;
         let digest = self
             .tree
@@ -258,11 +276,41 @@ impl Mee {
         now: Cycles,
         dram: &mut DramModel,
     ) -> Result<MeeAccess, ModelError> {
-        let mut access = self.walk(data_line, now, dram)?;
+        self.write_traced(data_line, digest, now, dram, &mut NullTracer)
+    }
+
+    /// [`Self::write`] with walk steps and MEE-cache evictions reported to
+    /// `tracer` (observation only — outcomes are unchanged).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::read`].
+    pub fn write_traced(
+        &mut self,
+        data_line: LineAddr,
+        digest: u64,
+        now: Cycles,
+        dram: &mut DramModel,
+        tracer: &mut dyn Tracer,
+    ) -> Result<MeeAccess, ModelError> {
+        let mut access = self.walk(data_line, now, dram, tracer)?;
         self.stats.writes += 1;
         self.tree.write(data_line, digest)?;
         access.latency += self.timing.mee_crypto;
         Ok(access)
+    }
+
+    /// The MEE-cache set index of `data_line`'s versions line — the set a
+    /// walk of this line contends on (the per-set metrics dimension).
+    /// `None` when the line is outside the protected region.
+    pub fn versions_set(&self, data_line: LineAddr) -> Option<usize> {
+        let geo = self.tree.geometry();
+        if !geo.covers(data_line.base()) {
+            return None;
+        }
+        let path = geo.walk_path(data_line);
+        let sets = self.cache.config().sets;
+        Some(geo.version_line(path.version).set_index(sets))
     }
 
     /// The walk itself: versions level first, climbing only on misses.
@@ -275,6 +323,7 @@ impl Mee {
         data_line: LineAddr,
         now: Cycles,
         dram: &mut DramModel,
+        tracer: &mut dyn Tracer,
     ) -> Result<MeeAccess, ModelError> {
         let geo = *self.tree.geometry();
         if !geo.covers(data_line.base()) {
@@ -295,10 +344,23 @@ impl Mee {
         // bandwidth when it misses.
         let tag_line = geo.pd_tag_line(path.version);
         let tag_result = self.cache.access_in_ways(tag_line, &self.fill_mask);
+        if tracer.enabled() {
+            tracer.record(
+                now,
+                EventKind::WalkStep {
+                    level: WalkLevel::PdTag,
+                    line: tag_line.raw(),
+                    hit: tag_result.hit,
+                },
+            );
+        }
         if !tag_result.hit {
             dram.access(tag_line);
             filled.push(tag_line);
             if let Some(e) = tag_result.evicted {
+                if tracer.enabled() {
+                    tracer.record(now, EventKind::MeeEvict { line: e.raw() });
+                }
                 evicted.push(e);
             }
         }
@@ -306,7 +368,20 @@ impl Mee {
         // Versions level: always checked first (paper challenge 2).
         let vline = geo.version_line(path.version);
         let v = self.cache.access_in_ways(vline, &self.fill_mask);
+        if tracer.enabled() {
+            tracer.record(
+                now,
+                EventKind::WalkStep {
+                    level: WalkLevel::Versions,
+                    line: vline.raw(),
+                    hit: v.hit,
+                },
+            );
+        }
         if let Some(e) = v.evicted {
+            if tracer.enabled() {
+                tracer.record(now, EventKind::MeeEvict { line: e.raw() });
+            }
             evicted.push(e);
         }
         if v.hit {
@@ -322,14 +397,27 @@ impl Mee {
         latency += dram.access(vline) + self.timing.walk_step;
 
         // Climb L0 → L1 → L2, stopping at the first cached level.
-        for (level, hit_level) in [
-            (TreeLevel::L0, HitLevel::L0),
-            (TreeLevel::L1, HitLevel::L1),
-            (TreeLevel::L2, HitLevel::L2),
+        for (level, hit_level, walk_level) in [
+            (TreeLevel::L0, HitLevel::L0, WalkLevel::L0),
+            (TreeLevel::L1, HitLevel::L1, WalkLevel::L1),
+            (TreeLevel::L2, HitLevel::L2, WalkLevel::L2),
         ] {
             let node_line = geo.level_line(level, path.node_at(level));
             let r = self.cache.access_in_ways(node_line, &self.fill_mask);
+            if tracer.enabled() {
+                tracer.record(
+                    now,
+                    EventKind::WalkStep {
+                        level: walk_level,
+                        line: node_line.raw(),
+                        hit: r.hit,
+                    },
+                );
+            }
             if let Some(e) = r.evicted {
+                if tracer.enabled() {
+                    tracer.record(now, EventKind::MeeEvict { line: e.raw() });
+                }
                 evicted.push(e);
             }
             if r.hit {
@@ -349,7 +437,18 @@ impl Mee {
             latency += self.timing.upper_level_fetch;
         }
 
-        // Everything missed: compare against the on-die root.
+        // Everything missed: compare against the on-die root. The root is
+        // on-die and has no line address; the walk step reports line 0.
+        if tracer.enabled() {
+            tracer.record(
+                now,
+                EventKind::WalkStep {
+                    level: WalkLevel::Root,
+                    line: 0,
+                    hit: true,
+                },
+            );
+        }
         latency += self.timing.root_check;
         self.stats.hits_by_level[HitLevel::Root.ladder_index()] += 1;
         Ok(MeeAccess {

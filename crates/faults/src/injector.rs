@@ -70,6 +70,7 @@ impl FaultInjector {
             }
             FaultKind::MeeFlush => machine.flush_mee_cache(),
         }
+        machine.trace_fault(event.kind.label(), event.kind.trace_arg(), event.at);
         Ok(())
     }
 }

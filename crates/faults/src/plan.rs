@@ -75,6 +75,21 @@ impl FaultKind {
             FaultKind::MeeFlush => "mee-flush",
         }
     }
+
+    /// The kind-specific argument carried into the event trace alongside
+    /// [`Self::label`]: the victim core, the thrashed MEE set, the evicted
+    /// page's raw virtual address, or `0` for [`FaultKind::MeeFlush`].
+    #[must_use]
+    pub fn trace_arg(&self) -> u64 {
+        match self {
+            FaultKind::Preempt { core, .. }
+            | FaultKind::Migrate { core, .. }
+            | FaultKind::ClockDrift { core, .. } => core.index() as u64,
+            FaultKind::EpcEvict { page, .. } => page.raw(),
+            FaultKind::MeeSetThrash { set } => *set as u64,
+            FaultKind::MeeFlush => 0,
+        }
+    }
 }
 
 /// A [`FaultKind`] scheduled at a global cycle count.

@@ -254,6 +254,17 @@ pub fn run_actor_refs_hooked(
     let mut stuck_count = vec![0u32; actors.len()];
     const STUCK_LIMIT: u32 = 100_000;
 
+    // Host-time profiling of the step loop: wall-clock only, recorded on
+    // exit — it cannot influence the simulated interleaving.
+    let loop_start = std::time::Instant::now();
+    let mut steps: u64 = 0;
+    let finish = |machine: &mut Machine, steps: u64| {
+        machine
+            .obs_mut()
+            .host
+            .record_n("actor_step_loop", steps, loop_start.elapsed());
+    };
+
     loop {
         // Pick the runnable actor with the smallest core clock.
         let pick = |machine: &Machine, done: &[bool]| {
@@ -265,6 +276,7 @@ pub fn run_actor_refs_hooked(
                 .map(|(i, _)| i)
         };
         let Some(i) = pick(machine, &done) else {
+            finish(machine, steps);
             return Ok(());
         };
         // The hook sees the global time (the chosen actor's clock) and may
@@ -272,6 +284,7 @@ pub fn run_actor_refs_hooked(
         // respects whatever it did.
         hook.before_step(machine, machine.core_now(actors[i].0))?;
         let Some(i) = pick(machine, &done) else {
+            finish(machine, steps);
             return Ok(());
         };
 
@@ -282,6 +295,7 @@ pub fn run_actor_refs_hooked(
             let mut cpu = CoreHandle::new(machine, *core, *proc);
             actor.step(&mut cpu)?
         };
+        steps += 1;
         if outcome == StepOutcome::Done {
             done[i] = true;
         } else if machine.core_now(core) == before {

@@ -9,6 +9,7 @@ use mee_mem::{
     AddressSpace, AddressSpaceKind, DramModel, FrameAllocator, PhysLayout, PlacementPolicy,
     RegionKind, StallGenerator,
 };
+use mee_obs::{EventKind, MemOpKind, Obs, ServedAt, Tracer, WalkLevel};
 use mee_tree::TreeGeometry;
 use mee_types::{Cycles, LineAddr, ModelError, PhysAddr, VirtAddr, PAGE_SIZE};
 use mee_rng::{stream_seed, Rng};
@@ -88,6 +89,11 @@ pub struct Machine {
     /// Where the MEE walk of the most recent memory op stopped (`None` if
     /// the op never reached the MEE).
     last_mee_hit: Option<mee_engine::HitLevel>,
+    /// Observability state (event sink, metrics, host profile). Off by
+    /// default: the instruction paths pay one disabled branch and nothing
+    /// else. Tracing observes the simulation; it never changes it, so
+    /// outcomes are bit-identical with tracing on or off.
+    obs: Obs,
 }
 
 impl fmt::Debug for Machine {
@@ -159,7 +165,55 @@ impl Machine {
             prm_alloc,
             general_store: HashMap::new(),
             last_mee_hit: None,
+            obs: Obs::off(),
         })
+    }
+
+    /// Turns on event tracing and metrics with a `capacity`-bounded ring.
+    /// For metrics that reconcile exactly with [`Mee::stats`], enable
+    /// tracing before issuing any memory ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (use [`Self::disable_tracing`]).
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        let cores = self.cores.len();
+        let mee_sets = self.mee.cache().config().sets;
+        self.obs = Obs::enabled(capacity, cores, mee_sets);
+    }
+
+    /// Turns tracing back off, discarding any captured events and metrics
+    /// (the host profile is discarded too).
+    pub fn disable_tracing(&mut self) {
+        self.obs = Obs::off();
+    }
+
+    /// The observability state (events, metrics, host profile).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Mutable observability state — for host-time spans and for layers
+    /// above the machine (faults, channel) recording their own events via
+    /// [`Self::trace_fault`] / [`Self::trace_phase`] equivalents.
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.obs
+    }
+
+    /// Records a fault firing in the event trace (no-op when tracing is
+    /// off). Called by the fault injector after applying a fault.
+    pub fn trace_fault(&mut self, kind: &'static str, arg: u64, at: Cycles) {
+        if self.obs.sink.enabled() {
+            self.obs.sink.record(at, EventKind::Fault { kind, arg });
+        }
+    }
+
+    /// Records a channel phase transition in the event trace (no-op when
+    /// tracing is off). Called by the attack layer at session milestones.
+    pub fn trace_phase(&mut self, name: &'static str, arg: u64, at: Cycles) {
+        if self.obs.sink.enabled() {
+            self.obs.sink.record(at, EventKind::Phase { name, arg });
+        }
     }
 
     /// The machine configuration.
@@ -391,13 +445,39 @@ impl Machine {
         self.check_core(core)?;
         let pa = self.translate(proc, va)?;
         let line = pa.line();
+        let issued = self.cores[core.index()].now;
         for c in &mut self.cores {
             c.l1.invalidate(line);
             c.l2.invalidate(line);
         }
         self.llc.invalidate(line);
         let lat = self.cfg.timing.clflush;
-        Ok(self.advance_with_stalls(core, lat))
+        let elapsed = self.advance_with_stalls(core, lat);
+        if self.obs.is_enabled() {
+            self.obs.sink.record(
+                issued,
+                EventKind::MemOp {
+                    core: core.index() as u32,
+                    proc: proc.index() as u32,
+                    op: MemOpKind::Clflush,
+                    line: line.raw(),
+                    served: None,
+                    mee_level: None,
+                    latency: elapsed.raw(),
+                },
+            );
+            if let Some(m) = self.obs.metrics.as_mut() {
+                m.record_mem_op(
+                    core.index(),
+                    proc.index(),
+                    MemOpKind::Clflush,
+                    None,
+                    None,
+                    elapsed.raw(),
+                );
+            }
+        }
+        Ok(elapsed)
     }
 
     /// A serializing fence (ordering is implicit in the sequential model;
@@ -679,17 +759,21 @@ impl Machine {
             return Err(ModelError::BadPhysAddr { pa });
         }
         let line = pa.line();
+        let issued = self.cores[core.index()].now;
         let t = &self.cfg.timing;
         let mut lat = t.l1_hit;
         let mut reached_dram = false;
+        let mut served = ServedAt::L1;
         self.last_mee_hit = None;
 
         let l1_hit = self.cores[core.index()].l1.access(line).hit;
         if !l1_hit {
             lat += t.l2_hit;
+            served = ServedAt::L2;
             let l2_hit = self.cores[core.index()].l2.access(line).hit;
             if !l2_hit {
                 lat += t.llc_hit;
+                served = ServedAt::Llc;
                 let llc_res = self.llc.access(line);
                 if let Some(victim) = llc_res.evicted {
                     // Inclusive LLC: back-invalidate every private cache.
@@ -697,25 +781,42 @@ impl Machine {
                         c.l1.invalidate(victim);
                         c.l2.invalidate(victim);
                     }
+                    if self.obs.sink.enabled() {
+                        self.obs
+                            .sink
+                            .record(issued, EventKind::LlcEvict { line: victim.raw() });
+                    }
                 }
                 if !llc_res.hit {
                     reached_dram = true;
+                    served = ServedAt::Dram;
                     lat += self.dram.access(line);
                     if kind == RegionKind::ProtectedData {
                         // The walk reaches the MEE after the on-chip lookups
                         // and the data fetch have elapsed on this core.
                         let arrival = self.cores[core.index()].now + lat;
-                        match store {
+                        // Split borrow: the walk needs the MEE, the DRAM
+                        // model, and the event sink at once.
+                        let Machine { mee, dram, obs, .. } = self;
+                        let hit_level = match store {
                             Some(digest) => {
-                                let access =
-                                    self.mee.write(line, digest, arrival, &mut self.dram)?;
-                                self.last_mee_hit = Some(access.hit_level);
+                                let access = mee
+                                    .write_traced(line, digest, arrival, dram, &mut obs.sink)?;
                                 lat += access.latency;
+                                access.hit_level
                             }
                             None => {
-                                let r = self.mee.read(line, arrival, &mut self.dram)?;
-                                self.last_mee_hit = Some(r.access.hit_level);
+                                let r = mee.read_traced(line, arrival, dram, &mut obs.sink)?;
                                 lat += r.access.latency;
+                                r.access.hit_level
+                            }
+                        };
+                        self.last_mee_hit = Some(hit_level);
+                        if self.obs.metrics.is_some() {
+                            if let Some(set) = self.mee.versions_set(line) {
+                                if let Some(m) = self.obs.metrics.as_mut() {
+                                    m.record_mee_set_walk(set);
+                                }
                             }
                         }
                     }
@@ -739,7 +840,40 @@ impl Machine {
             }
         }
 
-        Ok(self.advance_with_stalls(core, lat))
+        let elapsed = self.advance_with_stalls(core, lat);
+        if self.obs.is_enabled() {
+            let op = if store.is_some() {
+                MemOpKind::Write
+            } else {
+                MemOpKind::Read
+            };
+            let mee_level = self
+                .last_mee_hit
+                .map(|h| WalkLevel::from_ladder_index(h.ladder_index()));
+            self.obs.sink.record(
+                issued,
+                EventKind::MemOp {
+                    core: core.index() as u32,
+                    proc: proc.index() as u32,
+                    op,
+                    line: line.raw(),
+                    served: Some(served),
+                    mee_level,
+                    latency: elapsed.raw(),
+                },
+            );
+            if let Some(m) = self.obs.metrics.as_mut() {
+                m.record_mem_op(
+                    core.index(),
+                    proc.index(),
+                    op,
+                    Some(served),
+                    mee_level,
+                    elapsed.raw(),
+                );
+            }
+        }
+        Ok(elapsed)
     }
 }
 

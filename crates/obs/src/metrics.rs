@@ -1,0 +1,331 @@
+//! Deterministic counters and fixed-bucket latency histograms.
+//!
+//! The registry is plain counting state updated in simulation order, so a
+//! same-seed run always produces the same snapshot. Metrics are kept per
+//! core (the machine's scheduling unit), per process (the tenant unit,
+//! grown lazily as process ids appear), and per MEE cache set (how often
+//! each set's versions lines were walked) — the three dimensions the
+//! multi-tenant detectability experiments need.
+
+use crate::event::{MemOpKind, ServedAt, WalkLevel};
+
+/// Upper bounds (inclusive) of the fixed latency buckets, in cycles. The
+/// last implicit bucket is overflow. The bounds bracket the workspace's
+/// load-bearing latencies: on-chip hits land in the small buckets, the
+/// paper's ~480-cycle MEE hit in `(256, 512]`, and the ~750-cycle MEE miss
+/// in `(512, 768]`.
+pub const LATENCY_BUCKET_BOUNDS: [u64; 10] = [4, 8, 16, 32, 64, 128, 256, 512, 768, 1024];
+
+/// Bucket count including the overflow bucket.
+pub const LATENCY_BUCKETS: usize = LATENCY_BUCKET_BOUNDS.len() + 1;
+
+/// A fixed-bucket latency histogram (see [`LATENCY_BUCKET_BOUNDS`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample, in cycles.
+    pub fn record(&mut self, latency: u64) {
+        let idx = LATENCY_BUCKET_BOUNDS
+            .iter()
+            .position(|&bound| latency <= bound)
+            .unwrap_or(LATENCY_BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += latency;
+        self.max = self.max.max(latency);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded latencies, in cycles.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded latency, in cycles (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Per-bucket counts, ending with the overflow bucket.
+    pub fn buckets(&self) -> &[u64; LATENCY_BUCKETS] {
+        &self.buckets
+    }
+
+    /// The histogram as a deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        let buckets: Vec<String> = self.buckets.iter().map(|c| c.to_string()).collect();
+        format!(
+            "{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[{}]}}",
+            self.count,
+            self.sum,
+            self.max,
+            buckets.join(",")
+        )
+    }
+}
+
+/// Counters for one core or one process.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpMetrics {
+    /// Completed loads.
+    pub reads: u64,
+    /// Completed stores.
+    pub writes: u64,
+    /// Completed `clflush`es.
+    pub clflushes: u64,
+    /// Ops served by the private L1.
+    pub l1_hits: u64,
+    /// Ops served by the private L2.
+    pub l2_hits: u64,
+    /// Ops served by the shared LLC.
+    pub llc_hits: u64,
+    /// Ops that missed on-chip and reached DRAM.
+    pub dram: u64,
+    /// MEE walks that stopped at each hit-level ladder step
+    /// (0 = versions hit … 4 = root). Sums to the number of
+    /// protected-data DRAM ops, and reconciles with the engine's
+    /// end-of-run `hits_by_level`.
+    pub mee_hits: [u64; 5],
+    /// End-to-end latency of every completed op.
+    pub latency: LatencyHistogram,
+}
+
+impl OpMetrics {
+    fn record(
+        &mut self,
+        op: MemOpKind,
+        served: Option<ServedAt>,
+        mee_level: Option<WalkLevel>,
+        latency: u64,
+    ) {
+        match op {
+            MemOpKind::Read => self.reads += 1,
+            MemOpKind::Write => self.writes += 1,
+            MemOpKind::Clflush => self.clflushes += 1,
+        }
+        match served {
+            Some(ServedAt::L1) => self.l1_hits += 1,
+            Some(ServedAt::L2) => self.l2_hits += 1,
+            Some(ServedAt::Llc) => self.llc_hits += 1,
+            Some(ServedAt::Dram) => self.dram += 1,
+            None => {}
+        }
+        if let Some(level) = mee_level {
+            let idx = match level {
+                WalkLevel::Versions => 0,
+                WalkLevel::L0 => 1,
+                WalkLevel::L1 => 2,
+                WalkLevel::L2 => 3,
+                WalkLevel::Root => 4,
+                WalkLevel::PdTag => unreachable!("walks never stop at PD_Tag"),
+            };
+            self.mee_hits[idx] += 1;
+        }
+        self.latency.record(latency);
+    }
+
+    /// The counters as a deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        let mee: Vec<String> = self.mee_hits.iter().map(|c| c.to_string()).collect();
+        format!(
+            "{{\"reads\":{},\"writes\":{},\"clflushes\":{},\"l1_hits\":{},\
+             \"l2_hits\":{},\"llc_hits\":{},\"dram\":{},\"mee_hits\":[{}],\
+             \"latency\":{}}}",
+            self.reads,
+            self.writes,
+            self.clflushes,
+            self.l1_hits,
+            self.l2_hits,
+            self.llc_hits,
+            self.dram,
+            mee.join(","),
+            self.latency.to_json()
+        )
+    }
+}
+
+/// The deterministic metrics registry: per-core, per-process, and
+/// per-MEE-set counters, snapshotable mid-session (it is `Clone`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    cores: Vec<OpMetrics>,
+    /// Indexed by process id; grown lazily as ids appear.
+    procs: Vec<OpMetrics>,
+    /// How many MEE walks touched each MEE cache set (by the versions
+    /// line's set index).
+    mee_set_walks: Vec<u64>,
+}
+
+impl MetricsRegistry {
+    /// A zeroed registry for `cores` cores and an MEE cache with
+    /// `mee_sets` sets.
+    pub fn new(cores: usize, mee_sets: usize) -> Self {
+        MetricsRegistry {
+            cores: vec![OpMetrics::default(); cores],
+            procs: Vec::new(),
+            mee_set_walks: vec![0; mee_sets],
+        }
+    }
+
+    /// Records one completed memory op against its core and process.
+    pub fn record_mem_op(
+        &mut self,
+        core: usize,
+        proc: usize,
+        op: MemOpKind,
+        served: Option<ServedAt>,
+        mee_level: Option<WalkLevel>,
+        latency: u64,
+    ) {
+        self.cores[core].record(op, served, mee_level, latency);
+        if proc >= self.procs.len() {
+            self.procs.resize(proc + 1, OpMetrics::default());
+        }
+        self.procs[proc].record(op, served, mee_level, latency);
+    }
+
+    /// Records one MEE walk against the set index of its versions line.
+    pub fn record_mee_set_walk(&mut self, set: usize) {
+        self.mee_set_walks[set] += 1;
+    }
+
+    /// Per-core counters.
+    pub fn cores(&self) -> &[OpMetrics] {
+        &self.cores
+    }
+
+    /// Per-process counters (index = process id; short if high ids never
+    /// issued an op).
+    pub fn procs(&self) -> &[OpMetrics] {
+        &self.procs
+    }
+
+    /// Per-MEE-set walk counts.
+    pub fn mee_set_walks(&self) -> &[u64] {
+        &self.mee_set_walks
+    }
+
+    /// MEE walk hit counts summed over all cores, ladder-indexed — the
+    /// numbers that must reconcile exactly with the engine's end-of-run
+    /// `hits_by_level`.
+    pub fn mee_hits_total(&self) -> [u64; 5] {
+        let mut total = [0u64; 5];
+        for core in &self.cores {
+            for (t, h) in total.iter_mut().zip(core.mee_hits.iter()) {
+                *t += h;
+            }
+        }
+        total
+    }
+
+    /// A point-in-time copy of the registry.
+    pub fn snapshot(&self) -> MetricsRegistry {
+        self.clone()
+    }
+
+    /// The registry as one deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        let cores: Vec<String> = self.cores.iter().map(OpMetrics::to_json).collect();
+        let procs: Vec<String> = self.procs.iter().map(OpMetrics::to_json).collect();
+        let sets: Vec<String> = self.mee_set_walks.iter().map(|c| c.to_string()).collect();
+        format!(
+            "{{\"cores\":[{}],\"procs\":[{}],\"mee_set_walks\":[{}]}}",
+            cores.join(","),
+            procs.join(","),
+            sets.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_split_hit_from_miss() {
+        let mut h = LatencyHistogram::new();
+        h.record(480); // MEE-cache hit latency → (256, 512]
+        h.record(750); // MEE-cache miss latency → (512, 768]
+        h.record(4); // L1 hit → first bucket
+        h.record(5000); // overflow
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 480 + 750 + 4 + 5000);
+        assert_eq!(h.max(), 5000);
+        let b = h.buckets();
+        assert_eq!(b[0], 1, "4 cycles in first bucket");
+        assert_eq!(b[7], 1, "480 cycles in (256, 512]");
+        assert_eq!(b[8], 1, "750 cycles in (512, 768]");
+        assert_eq!(b[LATENCY_BUCKETS - 1], 1, "5000 cycles overflows");
+    }
+
+    #[test]
+    fn registry_counts_per_core_proc_and_set() {
+        let mut m = MetricsRegistry::new(2, 4);
+        m.record_mem_op(
+            0,
+            3,
+            MemOpKind::Read,
+            Some(ServedAt::Dram),
+            Some(WalkLevel::Versions),
+            480,
+        );
+        m.record_mem_op(1, 3, MemOpKind::Write, Some(ServedAt::L1), None, 4);
+        m.record_mem_op(0, 0, MemOpKind::Clflush, None, None, 12);
+        m.record_mee_set_walk(2);
+        m.record_mee_set_walk(2);
+
+        assert_eq!(m.cores()[0].reads, 1);
+        assert_eq!(m.cores()[0].clflushes, 1);
+        assert_eq!(m.cores()[1].writes, 1);
+        assert_eq!(m.cores()[1].l1_hits, 1);
+        assert_eq!(m.cores()[0].dram, 1);
+        assert_eq!(m.procs().len(), 4, "proc table grows to the max id");
+        assert_eq!(m.procs()[3].reads + m.procs()[3].writes, 2);
+        assert_eq!(m.mee_set_walks(), &[0, 0, 2, 0]);
+        assert_eq!(m.mee_hits_total(), [1, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn snapshot_is_a_point_in_time_copy() {
+        let mut m = MetricsRegistry::new(1, 1);
+        m.record_mem_op(0, 0, MemOpKind::Read, Some(ServedAt::L1), None, 4);
+        let snap = m.snapshot();
+        m.record_mem_op(0, 0, MemOpKind::Read, Some(ServedAt::L1), None, 4);
+        assert_eq!(snap.cores()[0].reads, 1);
+        assert_eq!(m.cores()[0].reads, 2);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_structured() {
+        let mut m = MetricsRegistry::new(1, 2);
+        m.record_mem_op(
+            0,
+            0,
+            MemOpKind::Read,
+            Some(ServedAt::Dram),
+            Some(WalkLevel::Root),
+            750,
+        );
+        m.record_mee_set_walk(1);
+        let json = m.to_json();
+        assert_eq!(json, m.snapshot().to_json());
+        assert!(json.starts_with("{\"cores\":["));
+        assert!(json.contains("\"mee_hits\":[0,0,0,0,1]"));
+        assert!(json.contains("\"mee_set_walks\":[0,1]"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Host-time profiling, kept strictly apart from simulated time.
+//!
+//! The rule: **host time never feeds back into the simulation.** Spans
+//! measure where wall-clock goes (scheduler step loop, sweep shards,
+//! decode stages) and are reported next to — never mixed into — the
+//! sim-cycle event log, so profiling cannot perturb determinism. Host
+//! durations vary run to run by nature; everything here is additive and
+//! mergeable so shard profiles can be folded into one report.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Accumulated host-time statistics for one named span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// How many times the span ran.
+    pub count: u64,
+    /// Total host time across all runs.
+    pub total: Duration,
+    /// Longest single run.
+    pub max: Duration,
+}
+
+/// A profile of named host-time spans. Keyed by static span names so the
+/// report order is stable (sorted by name).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HostProfile {
+    spans: BTreeMap<&'static str, SpanStats>,
+}
+
+impl HostProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one run of `name` taking `elapsed` host time.
+    pub fn record(&mut self, name: &'static str, elapsed: Duration) {
+        self.record_n(name, 1, elapsed);
+    }
+
+    /// Records `count` runs of `name` taking `elapsed` host time in total
+    /// (e.g. a batch timed with one `Instant`).
+    pub fn record_n(&mut self, name: &'static str, count: u64, elapsed: Duration) {
+        let stats = self.spans.entry(name).or_default();
+        stats.count += count;
+        stats.total += elapsed;
+        stats.max = stats.max.max(elapsed);
+    }
+
+    /// Times `f` and records it under `name`, returning `f`'s result.
+    pub fn time<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.record(name, start.elapsed());
+        out
+    }
+
+    /// Folds another profile (e.g. a sweep shard's) into this one.
+    pub fn merge(&mut self, other: &HostProfile) {
+        for (name, stats) in &other.spans {
+            let mine = self.spans.entry(name).or_default();
+            mine.count += stats.count;
+            mine.total += stats.total;
+            mine.max = mine.max.max(stats.max);
+        }
+    }
+
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The stats for one span, if it ran.
+    pub fn span(&self, name: &str) -> Option<&SpanStats> {
+        self.spans.get(name)
+    }
+
+    /// All spans, sorted by name.
+    pub fn spans(&self) -> impl Iterator<Item = (&'static str, &SpanStats)> {
+        self.spans.iter().map(|(name, stats)| (*name, stats))
+    }
+
+    /// The profile as a JSON object keyed by span name (sorted). Values
+    /// are host **nanoseconds** — they vary run to run and must never be
+    /// compared in golden tests.
+    pub fn to_json(&self) -> String {
+        let spans: Vec<String> = self
+            .spans
+            .iter()
+            .map(|(name, s)| {
+                format!(
+                    "\"{name}\":{{\"count\":{},\"total_ns\":{},\"max_ns\":{}}}",
+                    s.count,
+                    s.total.as_nanos(),
+                    s.max.as_nanos()
+                )
+            })
+            .collect();
+        format!("{{{}}}", spans.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_count_total_and_max() {
+        let mut p = HostProfile::new();
+        p.record("decode", Duration::from_nanos(100));
+        p.record("decode", Duration::from_nanos(300));
+        p.record_n("step", 10, Duration::from_nanos(50));
+        let decode = p.span("decode").unwrap();
+        assert_eq!(decode.count, 2);
+        assert_eq!(decode.total, Duration::from_nanos(400));
+        assert_eq!(decode.max, Duration::from_nanos(300));
+        assert_eq!(p.span("step").unwrap().count, 10);
+    }
+
+    #[test]
+    fn time_returns_the_closure_result() {
+        let mut p = HostProfile::new();
+        let out = p.time("work", || 6 * 7);
+        assert_eq!(out, 42);
+        assert_eq!(p.span("work").unwrap().count, 1);
+    }
+
+    #[test]
+    fn merge_folds_shard_profiles() {
+        let mut a = HostProfile::new();
+        a.record("shard", Duration::from_nanos(10));
+        let mut b = HostProfile::new();
+        b.record("shard", Duration::from_nanos(30));
+        b.record("other", Duration::from_nanos(5));
+        a.merge(&b);
+        let shard = a.span("shard").unwrap();
+        assert_eq!(shard.count, 2);
+        assert_eq!(shard.total, Duration::from_nanos(40));
+        assert_eq!(shard.max, Duration::from_nanos(30));
+        assert!(a.span("other").is_some());
+    }
+
+    #[test]
+    fn json_is_sorted_by_span_name() {
+        let mut p = HostProfile::new();
+        p.record("zeta", Duration::from_nanos(1));
+        p.record("alpha", Duration::from_nanos(2));
+        let json = p.to_json();
+        let alpha = json.find("alpha").unwrap();
+        let zeta = json.find("zeta").unwrap();
+        assert!(alpha < zeta, "span keys must be sorted: {json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

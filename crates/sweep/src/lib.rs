@@ -33,8 +33,16 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
+use mee_obs::HostProfile;
 use mee_rng::stream_seed;
+
+/// The [`HostProfile`] span name under which [`Sweep::run_profiled`]
+/// records each worker's shard: one `record_n` per worker, with the count
+/// of sessions that worker drained and the wall-clock time it spent
+/// draining them.
+pub const SHARD_SPAN: &str = "sweep_shard";
 
 /// Environment variable pinning the worker-thread count of every sweep
 /// built with [`Sweep::new`].
@@ -226,6 +234,65 @@ impl Sweep {
         indexed.into_iter().map(|(_, t)| t).collect()
     }
 
+    /// Like [`Sweep::run`], but also reports host-time profiling: each
+    /// worker records one [`SHARD_SPAN`] span covering the sessions it
+    /// drained, and the per-worker profiles are merged into one
+    /// [`HostProfile`].
+    ///
+    /// The *results* are bit-identical to [`Sweep::run`] for any thread
+    /// count; the *profile* is host wall-clock and therefore never
+    /// deterministic — it is measurement output, kept strictly separate
+    /// from simulated time (see the workspace observability design note).
+    pub fn run_profiled<I, T, F>(&self, items: &[I], f: F) -> (Vec<T>, HostProfile)
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            let start = Instant::now();
+            let out: Vec<T> = items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+            let mut host = HostProfile::new();
+            host.record_n(SHARD_SPAN, n as u64, start.elapsed());
+            return (out, host);
+        }
+
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+        let profile: Mutex<HostProfile> = Mutex::new(HostProfile::new());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let shard_start = Instant::now();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    let drained = local.len() as u64;
+                    collected.lock().unwrap().extend(local);
+                    // HostProfile::merge is commutative, so the merge order
+                    // (which *is* scheduling-dependent) cannot change the
+                    // final aggregate.
+                    let mut shard = HostProfile::new();
+                    shard.record_n(SHARD_SPAN, drained, shard_start.elapsed());
+                    profile.lock().unwrap().merge(&shard);
+                });
+            }
+        });
+
+        let mut indexed = collected.into_inner().unwrap();
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        debug_assert_eq!(indexed.len(), n, "work queue dropped sessions");
+        let out = indexed.into_iter().map(|(_, t)| t).collect();
+        (out, profile.into_inner().unwrap())
+    }
+
     /// Runs an `n`-session seed sweep rooted at `root`: session `i` calls
     /// `f` with [`SessionSpec`] `{ index: i, seed: stream_seed(root, i) }`.
     /// Results come back in session order.
@@ -236,6 +303,17 @@ impl Sweep {
     {
         let specs = session_seeds(root, n);
         self.run(&specs, |_, &spec| f(spec))
+    }
+
+    /// The profiled form of [`Sweep::seed_sweep`]: same results, plus the
+    /// merged per-worker shard profile from [`Sweep::run_profiled`].
+    pub fn seed_sweep_profiled<T, F>(&self, root: u64, n: usize, f: F) -> (Vec<T>, HostProfile)
+    where
+        T: Send,
+        F: Fn(SessionSpec) -> T + Sync,
+    {
+        let specs = session_seeds(root, n);
+        self.run_profiled(&specs, |_, &spec| f(spec))
     }
 
     /// Like [`Sweep::seed_sweep`] for fallible sessions: returns the first
@@ -403,6 +481,27 @@ mod tests {
             })
         });
         assert!(result.is_err(), "worker panic was swallowed");
+    }
+
+    #[test]
+    fn profiled_results_match_unprofiled_bit_for_bit() {
+        let plain = Sweep::serial().seed_sweep(2019, 32, chew);
+        for threads in [1, 2, 4, 8] {
+            let (profiled, host) = Sweep::with_threads(threads).seed_sweep_profiled(2019, 32, chew);
+            assert_eq!(plain, profiled, "{threads} threads diverged under profiling");
+            let shard = host.span(SHARD_SPAN).expect("shard span recorded");
+            // Every session is covered by exactly one worker's shard span.
+            assert_eq!(shard.count, 32, "shard spans must cover every session");
+            assert!(shard.count >= 1);
+        }
+    }
+
+    #[test]
+    fn profiled_empty_sweep_records_an_empty_shard() {
+        let (out, host) = Sweep::with_threads(4).run_profiled(&[] as &[u64], |_, &x| x);
+        assert!(out.is_empty());
+        let shard = host.span(SHARD_SPAN).expect("serial path still records the span");
+        assert_eq!(shard.count, 0);
     }
 
     /// Wall-clock smoke check: a parallel sweep must never be

@@ -20,6 +20,7 @@
 //! |---|---|
 //! | [`types`] | addresses, cycles, timing calibration, errors |
 //! | [`rng`] | hermetic seeded RNG + property-testing driver |
+//! | [`obs`] | deterministic tracing, metrics, host-time profiling, trace export |
 //! | [`cache`] | set-associative caches + replacement policies |
 //! | [`mem`] | physical layout, frame allocation, page tables, DRAM |
 //! | [`tree`] | the SGX-style integrity tree (counters + MACs) |
@@ -54,6 +55,7 @@ pub use mee_engine as engine;
 pub use mee_faults as faults;
 pub use mee_machine as machine;
 pub use mee_mem as mem;
+pub use mee_obs as obs;
 pub use mee_rng as rng;
 pub use mee_spec as spec;
 pub use mee_sweep as sweep;

@@ -18,18 +18,30 @@ struct SessionTrace {
 }
 
 fn run_session(seed: u64) -> SessionTrace {
+    run_session_traced(seed, None).0
+}
+
+/// Runs one end-to-end session, optionally with an event ring of the
+/// given capacity enabled before the first memory op. Returns the
+/// observable transcript plus the captured event log (empty when
+/// untraced).
+fn run_session_traced(seed: u64, trace_capacity: Option<usize>) -> (SessionTrace, String) {
     let mut setup = AttackSetup::new(seed).unwrap();
+    if let Some(capacity) = trace_capacity {
+        setup.machine.enable_tracing(capacity);
+    }
     let session = Session::establish(&mut setup, &ChannelConfig::default()).unwrap();
     let payload = random_bits(256, seed);
     let out = session.transmit(&mut setup, &payload).unwrap();
     let cores = setup.machine.config().cores;
-    SessionTrace {
+    let trace = SessionTrace {
         received: out.received,
         core_clocks: (0..cores)
             .map(|c| setup.machine.core_now(CoreId::new(c)).raw())
             .collect(),
         elapsed_cycles: out.elapsed.raw(),
-    }
+    };
+    (trace, setup.machine.obs().event_log())
 }
 
 /// The same end-to-end session, run twice with the same seed, produces a
@@ -51,6 +63,32 @@ fn different_seeds_produce_different_traces() {
         a.core_clocks, b.core_clocks,
         "seed change did not perturb the machine at all"
     );
+}
+
+/// Tracing is an observer, never a participant: the same seed run with
+/// the event ring enabled and disabled must produce bit-identical session
+/// outcomes (received bits, per-core clocks, elapsed cycles).
+#[test]
+fn tracing_on_and_off_sessions_are_bit_identical() {
+    let (untraced, empty_log) = run_session_traced(2019, None);
+    let (traced, log) = run_session_traced(2019, Some(1 << 20));
+    assert_eq!(untraced, traced, "enabling tracing perturbed the simulation");
+    assert_eq!(empty_log, "", "untraced session captured events");
+    assert!(!log.is_empty(), "traced session captured nothing");
+}
+
+/// Same seed ⇒ byte-identical event log: every event, in order, with
+/// identical sim-cycle stamps and payloads. The log is part of the
+/// deterministic surface, exactly like the transcript.
+#[test]
+fn same_seed_event_logs_are_byte_identical() {
+    let (trace_a, log_a) = run_session_traced(2019, Some(1 << 20));
+    let (trace_b, log_b) = run_session_traced(2019, Some(1 << 20));
+    assert_eq!(trace_a, trace_b);
+    assert_eq!(log_a, log_b, "same-seed event logs diverged");
+    // The log must be substantial for the byte-comparison to be a real
+    // claim (an always-empty log would pass vacuously).
+    assert!(log_a.lines().count() > 1_000, "suspiciously small event log");
 }
 
 /// A faulted session trace: the transcript plus the exact fault events

@@ -131,3 +131,45 @@ fn resilience_table_matches_snapshot() {
     write!(s, "{r}").unwrap();
     check_golden("resilience_table.txt", &s);
 }
+
+/// FNV-1a 64-bit — a tiny, dependency-free content hash for pinning the
+/// full event log without committing megabytes of snapshot.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Pins the seed-2019 traced session in compact form: the event count,
+/// the FNV-64 hash of the complete JSON-lines event log, and the first 64
+/// log lines verbatim. The hash catches *any* drift (event order, field
+/// values, formatting) across the whole log; the head keeps the diff
+/// readable for the common case of a change near session start.
+#[test]
+fn event_trace_matches_snapshot() {
+    use mee_covert::attack::channel::{random_bits, ChannelConfig, Session};
+    use mee_covert::attack::setup::AttackSetup;
+
+    let mut setup = AttackSetup::new(testbed::SEED).unwrap();
+    setup.machine.enable_tracing(1 << 20);
+    let session = Session::establish(&mut setup, &ChannelConfig::sweep_setup()).unwrap();
+    let payload = random_bits(32, testbed::SEED);
+    let _ = session.transmit(&mut setup, &payload).unwrap();
+
+    let log = setup.machine.obs().event_log();
+    let dropped = setup.machine.obs().ring().unwrap().dropped();
+    assert_eq!(dropped, 0, "golden ring must retain the whole session");
+
+    let mut s = String::new();
+    writeln!(s, "# event trace seed={} bits=32", testbed::SEED).unwrap();
+    writeln!(s, "events={}", log.lines().count()).unwrap();
+    writeln!(s, "fnv64={:016x}", fnv64(log.as_bytes())).unwrap();
+    writeln!(s, "# first 64 events:").unwrap();
+    for line in log.lines().take(64) {
+        writeln!(s, "{line}").unwrap();
+    }
+    check_golden("event_trace.txt", &s);
+}
