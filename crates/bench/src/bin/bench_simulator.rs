@@ -50,7 +50,7 @@ fn bench_mee_walk(w: &mut JsonlWriter) {
         geo,
         1,
         CacheConfig::from_capacity(64 * 1024, 8, 64).unwrap(),
-        Box::new(TreePlru::new()),
+        TreePlru::new(),
         TimingConfig::default(),
     );
     let base = layout.prm_data().base().line().raw();

@@ -2,7 +2,7 @@
 
 use mee_types::{LineAddr, ModelError};
 
-use crate::policy::ReplacementPolicy;
+use crate::policy::{Policy, ReplacementPolicy};
 use crate::stats::CacheStats;
 
 /// Geometry of a set-associative cache.
@@ -90,12 +90,34 @@ pub struct AccessResult {
 /// itself (the functional memory contents live in `mee-mem`/`mee-tree`).
 pub struct SetAssocCache {
     cfg: CacheConfig,
-    /// `ways[set * cfg.ways + way]`: resident line, if any.
-    lines: Vec<Option<LineAddr>>,
-    policy: Box<dyn ReplacementPolicy>,
+    /// `tags[set * cfg.ways + way]`: the resident line encoded as
+    /// `raw + 1`, or [`EMPTY`] (`0`) for an empty way. A flat array of
+    /// plain words keeps the way scan — the single hottest loop in the
+    /// simulator — branchless and vectorizable, and a fresh cache is one
+    /// zeroed allocation.
+    tags: Vec<u64>,
+    policy: Policy,
     stats: CacheStats,
+    /// Resident-line count, so empty-cache invalidation sweeps are O(1).
+    resident: usize,
     /// Scratch "allowed ways" mask reused across calls.
     allowed: Vec<bool>,
+}
+
+/// Tag encoding of "no line".
+const EMPTY: u64 = 0;
+
+/// Encodes a line for tag storage (`raw + 1`, so zero means empty).
+#[inline]
+fn encode(line: LineAddr) -> u64 {
+    line.raw() + 1
+}
+
+/// Decodes a non-[`EMPTY`] tag back to its line.
+#[inline]
+fn decode(tag: u64) -> LineAddr {
+    debug_assert_ne!(tag, EMPTY);
+    LineAddr::new(tag - 1)
 }
 
 impl std::fmt::Debug for SetAssocCache {
@@ -110,14 +132,19 @@ impl std::fmt::Debug for SetAssocCache {
 
 impl SetAssocCache {
     /// Creates an empty cache with the given geometry and policy.
-    pub fn new(cfg: CacheConfig, mut policy: Box<dyn ReplacementPolicy>) -> Self {
+    ///
+    /// Accepts a concrete policy by value (statically dispatched — the fast
+    /// path) or a `Box<dyn ReplacementPolicy>` for external policies.
+    pub fn new(cfg: CacheConfig, policy: impl Into<Policy>) -> Self {
+        let mut policy = policy.into();
         policy.attach(cfg.sets, cfg.ways);
         SetAssocCache {
-            lines: vec![None; cfg.sets * cfg.ways],
+            tags: vec![EMPTY; cfg.sets * cfg.ways],
             allowed: vec![true; cfg.ways],
             cfg,
             policy,
             stats: CacheStats::new(),
+            resident: 0,
         }
     }
 
@@ -133,10 +160,50 @@ impl SetAssocCache {
 
     /// Accesses `line`: on a miss the line is filled, possibly evicting a
     /// victim chosen by the replacement policy.
+    ///
+    /// Equivalent to [`Self::access_in_ways`] with an all-`true` mask, but
+    /// allocation-free: this is the path every simulated memory op takes.
     pub fn access(&mut self, line: LineAddr) -> AccessResult {
-        let ways = self.cfg.ways;
-        let mask = vec![true; ways];
-        self.access_in_ways(line, &mask)
+        let set = self.set_of(line);
+        let base = set * self.cfg.ways;
+        let tag = encode(line);
+        let ways = &self.tags[base..base + self.cfg.ways];
+
+        if let Some(way) = ways.iter().position(|&t| t == tag) {
+            self.policy.on_hit(set, way);
+            self.stats.hits += 1;
+            return AccessResult {
+                hit: true,
+                evicted: None,
+                set,
+            };
+        }
+
+        self.stats.misses += 1;
+        let empty = ways.iter().position(|&t| t == EMPTY);
+        let (way, evicted) = match empty {
+            Some(w) => {
+                self.resident += 1;
+                (w, None)
+            }
+            None => {
+                // No empty way means every way is occupied, so the victim
+                // mask is all-true — reuse the scratch buffer.
+                self.allowed.fill(true);
+                let allowed = std::mem::take(&mut self.allowed);
+                let w = self.policy.victim(set, &allowed);
+                self.allowed = allowed;
+                self.stats.evictions += 1;
+                (w, Some(decode(self.tags[base + w])))
+            }
+        };
+        self.tags[base + way] = tag;
+        self.policy.on_fill(set, way);
+        AccessResult {
+            hit: false,
+            evicted,
+            set,
+        }
     }
 
     /// Accesses `line`, but restricts fills (and victim selection) to the
@@ -154,6 +221,7 @@ impl SetAssocCache {
         assert!(way_mask.iter().any(|&b| b), "way mask allows no ways");
         let set = self.set_of(line);
         let base = set * self.cfg.ways;
+        let tag = encode(line);
 
         // Hit path.
         if let Some(way) = self.find_way(set, line) {
@@ -168,14 +236,15 @@ impl SetAssocCache {
 
         // Miss path: prefer an empty allowed way.
         self.stats.misses += 1;
-        let empty = (0..self.cfg.ways).find(|&w| way_mask[w] && self.lines[base + w].is_none());
+        let empty =
+            (0..self.cfg.ways).find(|&w| way_mask[w] && self.tags[base + w] == EMPTY);
         let (way, evicted) = match empty {
             Some(w) => (w, None),
             None => {
                 self.allowed.copy_from_slice(way_mask);
                 // Only occupied ways can be victims; merge with the mask.
                 for w in 0..self.cfg.ways {
-                    self.allowed[w] &= self.lines[base + w].is_some();
+                    self.allowed[w] &= self.tags[base + w] != EMPTY;
                 }
                 if !self.allowed.iter().any(|&b| b) {
                     // All allowed ways are empty? Impossible here (handled
@@ -186,14 +255,19 @@ impl SetAssocCache {
                 let allowed = std::mem::take(&mut self.allowed);
                 let w = self.policy.victim(set, &allowed);
                 self.allowed = allowed;
-                let old = self.lines[base + w].take();
-                if old.is_some() {
+                let old = self.tags[base + w];
+                self.tags[base + w] = EMPTY;
+                if old != EMPTY {
                     self.stats.evictions += 1;
+                    self.resident -= 1;
                 }
-                (w, old)
+                (w, (old != EMPTY).then(|| decode(old)))
             }
         };
-        self.lines[base + way] = Some(line);
+        if self.tags[base + way] == EMPTY {
+            self.resident += 1;
+        }
+        self.tags[base + way] = tag;
         self.policy.on_fill(set, way);
         AccessResult {
             hit: false,
@@ -209,9 +283,15 @@ impl SetAssocCache {
 
     /// Invalidates `line` if resident; returns whether it was.
     pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        if self.resident == 0 {
+            // Nothing cached (idle cores' private caches during a clflush
+            // broadcast): skip the way scan entirely.
+            return false;
+        }
         let set = self.set_of(line);
         if let Some(way) = self.find_way(set, line) {
-            self.lines[set * self.cfg.ways + way] = None;
+            self.tags[set * self.cfg.ways + way] = EMPTY;
+            self.resident -= 1;
             self.policy.on_invalidate(set, way);
             self.stats.invalidations += 1;
             true
@@ -222,9 +302,8 @@ impl SetAssocCache {
 
     /// Empties the whole cache, keeping statistics.
     pub fn invalidate_all(&mut self) {
-        for entry in &mut self.lines {
-            *entry = None;
-        }
+        self.tags.fill(EMPTY);
+        self.resident = 0;
         // Re-attach to reset policy metadata.
         self.policy.attach(self.cfg.sets, self.cfg.ways);
     }
@@ -240,18 +319,20 @@ impl SetAssocCache {
         let base = set * self.cfg.ways;
         let mut dropped = 0;
         for way in 0..self.cfg.ways {
-            if self.lines[base + way].take().is_some() {
+            if self.tags[base + way] != EMPTY {
+                self.tags[base + way] = EMPTY;
                 self.policy.on_invalidate(set, way);
                 self.stats.invalidations += 1;
                 dropped += 1;
             }
         }
+        self.resident -= dropped;
         dropped
     }
 
     /// Number of resident lines.
     pub fn occupancy(&self) -> usize {
-        self.lines.iter().filter(|l| l.is_some()).count()
+        self.resident
     }
 
     /// Number of resident lines in one set.
@@ -262,15 +343,18 @@ impl SetAssocCache {
     pub fn set_occupancy(&self, set: usize) -> usize {
         assert!(set < self.cfg.sets, "set {set} out of range");
         let base = set * self.cfg.ways;
-        self.lines[base..base + self.cfg.ways]
+        self.tags[base..base + self.cfg.ways]
             .iter()
-            .filter(|l| l.is_some())
+            .filter(|&&t| t != EMPTY)
             .count()
     }
 
     /// Iterates over all resident lines.
     pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        self.lines.iter().filter_map(|l| *l)
+        self.tags
+            .iter()
+            .filter(|&&t| t != EMPTY)
+            .map(|&t| decode(t))
     }
 
     /// Returns accumulated statistics.
@@ -283,9 +367,13 @@ impl SetAssocCache {
         self.stats = CacheStats::new();
     }
 
+    #[inline]
     fn find_way(&self, set: usize, line: LineAddr) -> Option<usize> {
         let base = set * self.cfg.ways;
-        (0..self.cfg.ways).find(|&w| self.lines[base + w] == Some(line))
+        let tag = encode(line);
+        self.tags[base..base + self.cfg.ways]
+            .iter()
+            .position(|&t| t == tag)
     }
 }
 
@@ -297,7 +385,7 @@ mod tests {
 
     fn small_lru() -> SetAssocCache {
         let cfg = CacheConfig::from_capacity(4 * 64, 2, 64).unwrap(); // 2 sets x 2 ways
-        SetAssocCache::new(cfg, Box::new(TrueLru::new()))
+        SetAssocCache::new(cfg, TrueLru::new())
     }
 
     #[test]
@@ -422,7 +510,7 @@ mod tests {
     #[test]
     fn invalidate_updates_plru_victim_state() {
         let cfg = CacheConfig::from_capacity(4 * 64, 4, 64).unwrap(); // 1 set x 4 ways
-        let mut c = SetAssocCache::new(cfg, Box::new(TreePlru::new()));
+        let mut c = SetAssocCache::new(cfg, TreePlru::new());
         let (a, b, d, e) = (
             LineAddr::new(0),
             LineAddr::new(1),
@@ -450,7 +538,7 @@ mod tests {
     #[test]
     fn way_mask_restricts_fills() {
         let cfg = CacheConfig::from_capacity(8 * 64, 8, 64).unwrap(); // 1 set x 8 ways
-        let mut c = SetAssocCache::new(cfg, Box::new(TrueLru::new()));
+        let mut c = SetAssocCache::new(cfg, TrueLru::new());
         let mask: Vec<bool> = (0..8).map(|w| w < 2).collect(); // only ways 0-1
         for i in 0..4 {
             c.access_in_ways(LineAddr::new(i), &mask);
@@ -464,7 +552,7 @@ mod tests {
     #[test]
     fn hit_in_disallowed_way_still_hits() {
         let cfg = CacheConfig::from_capacity(8 * 64, 8, 64).unwrap();
-        let mut c = SetAssocCache::new(cfg, Box::new(TrueLru::new()));
+        let mut c = SetAssocCache::new(cfg, TrueLru::new());
         let line = LineAddr::new(0);
         c.access(line); // fills way 0 (unrestricted)
         let mask: Vec<bool> = (0..8).map(|w| w >= 4).collect();
@@ -482,7 +570,7 @@ mod tests {
     fn mee_cache_shape_fills_and_self_evicts() {
         // The actual reverse-engineered shape: 128 sets x 8 ways.
         let cfg = CacheConfig::from_capacity(64 * 1024, 8, 64).unwrap();
-        let mut c = SetAssocCache::new(cfg, Box::new(TreePlru::new()));
+        let mut c = SetAssocCache::new(cfg, TreePlru::new());
         // Fill with 1024 distinct lines: exactly capacity, no evictions.
         for i in 0..1024 {
             c.access(LineAddr::new(i));
@@ -506,7 +594,7 @@ mod tests {
                 let accesses = vec_of(rng, 1..400, |r| r.random_range(0u64..512));
                 let ways = pick(rng, &[1usize, 2, 4, 8]);
                 let cfg = CacheConfig::from_capacity(16 * ways * 64, ways, 64).unwrap();
-                let mut c = SetAssocCache::new(cfg, Box::new(TreePlru::new()));
+                let mut c = SetAssocCache::new(cfg, TreePlru::new());
                 for &a in &accesses {
                     let line = LineAddr::new(a);
                     c.access(line);
@@ -526,7 +614,7 @@ mod tests {
         check("stats_identities", &PropConfig::from_env(64), |rng| {
             let accesses = vec_of(rng, 1..300, |r| r.random_range(0u64..256));
             let cfg = CacheConfig::from_capacity(4 * 1024, 4, 64).unwrap();
-            let mut c = SetAssocCache::new(cfg, Box::new(TrueLru::new()));
+            let mut c = SetAssocCache::new(cfg, TrueLru::new());
             for &a in &accesses {
                 c.access(LineAddr::new(a));
             }
@@ -545,7 +633,7 @@ mod tests {
             |rng| {
                 let seed = rng.random_range(0u64..1000);
                 let cfg = CacheConfig::from_capacity(2 * 2 * 64, 2, 64).unwrap(); // 2 sets
-                let mut c = SetAssocCache::new(cfg, Box::new(TrueLru::new()));
+                let mut c = SetAssocCache::new(cfg, TrueLru::new());
                 let other_set = LineAddr::new(1); // set 1
                 c.access(other_set);
                 // Hammer set 0.

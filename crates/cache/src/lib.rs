@@ -23,7 +23,7 @@
 //! let cfg = CacheConfig::from_capacity(64 * 1024, 8, 64)?;
 //! assert_eq!(cfg.sets, 128);
 //!
-//! let mut cache = SetAssocCache::new(cfg, Box::new(TreePlru::new()));
+//! let mut cache = SetAssocCache::new(cfg, TreePlru::new());
 //! let line = LineAddr::new(0x40);
 //! assert!(!cache.access(line).hit);
 //! assert!(cache.access(line).hit);

@@ -411,6 +411,122 @@ impl ReplacementPolicy for RandomEviction {
     }
 }
 
+/// A statically dispatched policy: every concrete policy in this module as
+/// an enum variant, plus a [`Policy::Dyn`] escape hatch for external
+/// implementations.
+///
+/// The simulated machine's caches sit on the hot path of every memory op
+/// (the L1/L2/LLC lookups, the MEE-cache walk, clflush invalidation sweeps),
+/// and all of them run [`TreePlru`] in the default configuration. Routing
+/// policy callbacks through an enum instead of `Box<dyn ReplacementPolicy>`
+/// lets the compiler inline the PLRU bit-tree updates into the cache access
+/// itself. [`SetAssocCache::new`](crate::SetAssocCache::new) accepts
+/// anything `Into<Policy>`: a concrete policy by value, or a boxed trait
+/// object (which lands in the [`Policy::Dyn`] variant).
+#[derive(Debug)]
+pub enum Policy {
+    /// Tree pseudo-LRU (the default everywhere).
+    TreePlru(TreePlru),
+    /// Exact LRU.
+    TrueLru(TrueLru),
+    /// First-in first-out.
+    Fifo(Fifo),
+    /// Not-recently-used.
+    Nru(Nru),
+    /// Static re-reference interval prediction.
+    Srrip(Srrip),
+    /// Seeded random victims.
+    Random(RandomEviction),
+    /// Any external [`ReplacementPolicy`], dynamically dispatched.
+    Dyn(Box<dyn ReplacementPolicy>),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $p:ident => $body:expr) => {
+        match $self {
+            Policy::TreePlru($p) => $body,
+            Policy::TrueLru($p) => $body,
+            Policy::Fifo($p) => $body,
+            Policy::Nru($p) => $body,
+            Policy::Srrip($p) => $body,
+            Policy::Random($p) => $body,
+            Policy::Dyn($p) => $body,
+        }
+    };
+}
+
+impl ReplacementPolicy for Policy {
+    fn attach(&mut self, sets: usize, ways: usize) {
+        dispatch!(self, p => p.attach(sets, ways));
+    }
+
+    #[inline]
+    fn on_hit(&mut self, set: usize, way: usize) {
+        dispatch!(self, p => p.on_hit(set, way));
+    }
+
+    #[inline]
+    fn on_fill(&mut self, set: usize, way: usize) {
+        dispatch!(self, p => p.on_fill(set, way));
+    }
+
+    #[inline]
+    fn victim(&mut self, set: usize, allowed: &[bool]) -> usize {
+        dispatch!(self, p => p.victim(set, allowed))
+    }
+
+    #[inline]
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        dispatch!(self, p => p.on_invalidate(set, way));
+    }
+
+    fn name(&self) -> &'static str {
+        dispatch!(self, p => p.name())
+    }
+}
+
+impl From<TreePlru> for Policy {
+    fn from(p: TreePlru) -> Self {
+        Policy::TreePlru(p)
+    }
+}
+
+impl From<TrueLru> for Policy {
+    fn from(p: TrueLru) -> Self {
+        Policy::TrueLru(p)
+    }
+}
+
+impl From<Fifo> for Policy {
+    fn from(p: Fifo) -> Self {
+        Policy::Fifo(p)
+    }
+}
+
+impl From<Nru> for Policy {
+    fn from(p: Nru) -> Self {
+        Policy::Nru(p)
+    }
+}
+
+impl From<Srrip> for Policy {
+    fn from(p: Srrip) -> Self {
+        Policy::Srrip(p)
+    }
+}
+
+impl From<RandomEviction> for Policy {
+    fn from(p: RandomEviction) -> Self {
+        Policy::Random(p)
+    }
+}
+
+impl From<Box<dyn ReplacementPolicy>> for Policy {
+    fn from(p: Box<dyn ReplacementPolicy>) -> Self {
+        Policy::Dyn(p)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

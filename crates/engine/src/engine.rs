@@ -1,6 +1,7 @@
 //! Walk logic and timing of the MEE.
 
-use mee_cache::{CacheConfig, ReplacementPolicy, SetAssocCache};
+use mee_cache::policy::Policy;
+use mee_cache::{CacheConfig, SetAssocCache};
 use mee_mem::DramModel;
 use mee_obs::{EventKind, NullTracer, Tracer, WalkLevel};
 use mee_tree::{IntegrityTree, TreeGeometry, TreeLevel};
@@ -63,6 +64,98 @@ impl std::fmt::Display for HitLevel {
     }
 }
 
+/// A fixed-capacity inline list of line addresses touched by one walk.
+///
+/// A walk fills at most five lines (PD_Tag + versions + L0 + L1 + L2) and
+/// each fill evicts at most one victim, so both lists fit in an inline
+/// array — no heap allocation on the per-memory-op hot path.
+#[derive(Clone, Copy)]
+pub struct WalkList {
+    len: u8,
+    items: [LineAddr; Self::CAP],
+}
+
+impl WalkList {
+    /// Maximum entries: one per walk level.
+    pub const CAP: usize = 5;
+
+    /// An empty list.
+    pub fn new() -> Self {
+        WalkList {
+            len: 0,
+            items: [LineAddr::new(0); Self::CAP],
+        }
+    }
+
+    /// Appends a line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is full (cannot happen for a well-formed walk).
+    pub fn push(&mut self, line: LineAddr) {
+        self.items[self.len as usize] = line;
+        self.len += 1;
+    }
+
+    /// The live entries, in walk order.
+    pub fn as_slice(&self) -> &[LineAddr] {
+        &self.items[..self.len as usize]
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `line` is in the list.
+    pub fn contains(&self, line: &LineAddr) -> bool {
+        self.as_slice().contains(line)
+    }
+
+    /// Iterates over the entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, LineAddr> {
+        self.as_slice().iter()
+    }
+
+    /// Copies the entries into a `Vec` (for order-insensitive comparisons).
+    pub fn to_vec(self) -> Vec<LineAddr> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for WalkList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for WalkList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl PartialEq for WalkList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for WalkList {}
+
+impl<'a> IntoIterator for &'a WalkList {
+    type Item = &'a LineAddr;
+    type IntoIter = std::slice::Iter<'a, LineAddr>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// Microarchitectural outcome of one MEE operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MeeAccess {
@@ -73,9 +166,9 @@ pub struct MeeAccess {
     /// that).
     pub latency: Cycles,
     /// Tree lines filled into the MEE cache by this walk.
-    pub filled: Vec<LineAddr>,
+    pub filled: WalkList,
     /// Tree lines evicted from the MEE cache by those fills.
-    pub evicted: Vec<LineAddr>,
+    pub evicted: WalkList,
 }
 
 /// Result of a verified protected read.
@@ -114,6 +207,9 @@ pub struct Mee {
     /// Way mask applied to MEE-cache fills (all-true normally; the §5.5
     /// mitigation experiment partitions it per security domain).
     fill_mask: Vec<bool>,
+    /// Whether `fill_mask` is all-true — the common case, which takes the
+    /// cache's mask-free fast path.
+    fill_unrestricted: bool,
     /// Global time until which the engine's pipeline is occupied; a walk
     /// arriving earlier queues (shared-resource contention across cores).
     busy_until: Cycles,
@@ -135,7 +231,7 @@ impl Mee {
         geo: TreeGeometry,
         key: u64,
         cache_cfg: CacheConfig,
-        policy: Box<dyn ReplacementPolicy>,
+        policy: impl Into<Policy>,
         timing: TimingConfig,
     ) -> Self {
         let ways = cache_cfg.ways;
@@ -145,6 +241,7 @@ impl Mee {
             timing,
             stats: MeeStats::default(),
             fill_mask: vec![true; ways],
+            fill_unrestricted: true,
             busy_until: Cycles::ZERO,
         }
     }
@@ -184,7 +281,18 @@ impl Mee {
     pub fn set_fill_mask(&mut self, mask: Vec<bool>) {
         assert_eq!(mask.len(), self.cache.config().ways, "mask length mismatch");
         assert!(mask.iter().any(|&b| b), "mask allows no ways");
+        self.fill_unrestricted = mask.iter().all(|&b| b);
         self.fill_mask = mask;
+    }
+
+    /// One MEE-cache access under the current fill mask, skipping the mask
+    /// machinery entirely in the unpartitioned (default) case.
+    fn cache_access(&mut self, line: LineAddr) -> mee_cache::AccessResult {
+        if self.fill_unrestricted {
+            self.cache.access(line)
+        } else {
+            self.cache.access_in_ways(line, &self.fill_mask)
+        }
     }
 
     /// Drops every line of the MEE cache — a whole-cache flush event (e.g.
@@ -332,19 +440,22 @@ impl Mee {
             });
         }
         let path = geo.walk_path(data_line);
+        // One virtual call up front; `NullTracer` (the bench configuration)
+        // then costs nothing per walk step.
+        let tracing = tracer.enabled();
         // Queue behind an in-flight walk from another core.
         let queue_delay = self.busy_until.saturating_sub(now);
         self.busy_until = now.max(self.busy_until) + self.timing.mee_service;
         let mut latency = queue_delay + self.timing.mee_crypto;
-        let mut filled = Vec::new();
-        let mut evicted = Vec::new();
+        let mut filled = WalkList::new();
+        let mut evicted = WalkList::new();
 
         // PD_Tag metadata: always consulted, latency fully overlapped with
         // the data fetch. It still occupies (even) cache sets and DRAM
         // bandwidth when it misses.
         let tag_line = geo.pd_tag_line(path.version);
-        let tag_result = self.cache.access_in_ways(tag_line, &self.fill_mask);
-        if tracer.enabled() {
+        let tag_result = self.cache_access(tag_line);
+        if tracing {
             tracer.record(
                 now,
                 EventKind::WalkStep {
@@ -358,7 +469,7 @@ impl Mee {
             dram.access(tag_line);
             filled.push(tag_line);
             if let Some(e) = tag_result.evicted {
-                if tracer.enabled() {
+                if tracing {
                     tracer.record(now, EventKind::MeeEvict { line: e.raw() });
                 }
                 evicted.push(e);
@@ -367,8 +478,8 @@ impl Mee {
 
         // Versions level: always checked first (paper challenge 2).
         let vline = geo.version_line(path.version);
-        let v = self.cache.access_in_ways(vline, &self.fill_mask);
-        if tracer.enabled() {
+        let v = self.cache_access(vline);
+        if tracing {
             tracer.record(
                 now,
                 EventKind::WalkStep {
@@ -379,7 +490,7 @@ impl Mee {
             );
         }
         if let Some(e) = v.evicted {
-            if tracer.enabled() {
+            if tracing {
                 tracer.record(now, EventKind::MeeEvict { line: e.raw() });
             }
             evicted.push(e);
@@ -403,8 +514,8 @@ impl Mee {
             (TreeLevel::L2, HitLevel::L2, WalkLevel::L2),
         ] {
             let node_line = geo.level_line(level, path.node_at(level));
-            let r = self.cache.access_in_ways(node_line, &self.fill_mask);
-            if tracer.enabled() {
+            let r = self.cache_access(node_line);
+            if tracing {
                 tracer.record(
                     now,
                     EventKind::WalkStep {
@@ -415,7 +526,7 @@ impl Mee {
                 );
             }
             if let Some(e) = r.evicted {
-                if tracer.enabled() {
+                if tracing {
                     tracer.record(now, EventKind::MeeEvict { line: e.raw() });
                 }
                 evicted.push(e);
@@ -439,7 +550,7 @@ impl Mee {
 
         // Everything missed: compare against the on-die root. The root is
         // on-die and has no line address; the walk step reports line 0.
-        if tracer.enabled() {
+        if tracing {
             tracer.record(
                 now,
                 EventKind::WalkStep {
@@ -497,7 +608,7 @@ mod tests {
             geo,
             0xfeed,
             CacheConfig::from_capacity(64 * 1024, 8, 64).unwrap(),
-            Box::new(TreePlru::new()),
+            TreePlru::new(),
             timing,
         );
         let base = layout.prm_data().base().line();
@@ -690,7 +801,7 @@ mod tests {
             geo,
             1,
             CacheConfig::from_capacity(64 * 1024, 8, 64).unwrap(),
-            Box::new(TrueLru::new()),
+            TrueLru::new(),
             TimingConfig::noiseless(),
         );
         mee.set_fill_mask((0..8).map(|w| w < 2).collect());

@@ -43,7 +43,7 @@
 //!     geo,
 //!     0x5eed,
 //!     CacheConfig::from_capacity(64 * 1024, 8, 64)?,
-//!     Box::new(TreePlru::new()),
+//!     TreePlru::new(),
 //!     TimingConfig::default(),
 //! );
 //!

@@ -1,6 +1,6 @@
 //! The hook that replays a [`FaultPlan`] against the machine.
 
-use mee_machine::{Machine, StepHook};
+use mee_machine::{HookSchedule, Machine, StepHook};
 use mee_types::{Cycles, ModelError};
 
 use crate::plan::{FaultEvent, FaultKind, FaultPlan};
@@ -87,6 +87,17 @@ impl StepHook for FaultInjector {
         }
         Ok(())
     }
+
+    /// The injector is a pure no-op until its next pending event's time,
+    /// and idle once the plan drains — every effect it applies is keyed
+    /// off `event.at`, not the observed `now`, so the event-driven
+    /// scheduler may skip the silent calls without changing the replay.
+    fn schedule(&self) -> HookSchedule {
+        match self.plan.events().get(self.cursor) {
+            Some(event) => HookSchedule::At(event.at),
+            None => HookSchedule::Idle,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +173,21 @@ mod tests {
         inj.before_step(&mut m, Cycles::new(150)).unwrap();
         assert!(!m.core_caches_line(c0, line), "private copies dropped");
         assert!(m.core_now(c0) >= Cycles::new(9_100), "downtime charged");
+    }
+
+    #[test]
+    fn schedule_tracks_the_next_pending_event() {
+        let plan = FaultPlan::none()
+            .with_event(Cycles::new(1_000), FaultKind::MeeFlush)
+            .with_event(Cycles::new(5_000), FaultKind::MeeFlush);
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.schedule(), HookSchedule::At(Cycles::new(1_000)));
+
+        let mut m = machine();
+        inj.before_step(&mut m, Cycles::new(1_500)).unwrap();
+        assert_eq!(inj.schedule(), HookSchedule::At(Cycles::new(5_000)));
+        inj.before_step(&mut m, Cycles::new(9_000)).unwrap();
+        assert_eq!(inj.schedule(), HookSchedule::Idle);
     }
 
     #[test]

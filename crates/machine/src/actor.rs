@@ -14,6 +14,8 @@
 
 use mee_types::{Cycles, ModelError, VirtAddr};
 
+use crate::config::EngineKind;
+use crate::events::EventQueue;
 use crate::machine::{CoreId, Machine, ProcId};
 
 /// What an actor's step reported.
@@ -197,6 +199,33 @@ pub trait StepHook {
     ///
     /// An error aborts the run and propagates to the caller.
     fn before_step(&mut self, machine: &mut Machine, now: Cycles) -> Result<(), ModelError>;
+
+    /// When the hook next needs to observe the machine. The event-driven
+    /// scheduler skips `before_step` calls the schedule rules out; the
+    /// cycle-stepped scheduler ignores this and calls before every step.
+    ///
+    /// The default, [`HookSchedule::EveryStep`], is always safe. A hook
+    /// may only narrow it if `before_step` is a pure no-op outside the
+    /// declared times — i.e. before `At(t)` is reached, or always for
+    /// `Idle` — otherwise the two engines diverge. The scheduler
+    /// re-queries after every `before_step` call, so `At` hooks advance
+    /// their own horizon as they fire.
+    fn schedule(&self) -> HookSchedule {
+        HookSchedule::EveryStep
+    }
+}
+
+/// When a [`StepHook`] next needs `before_step` called (only consulted by
+/// the event-driven scheduler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookSchedule {
+    /// Call before every actor step (the cycle-stepped contract).
+    EveryStep,
+    /// No effect until global time reaches this cycle: call before the
+    /// first step at or after it.
+    At(Cycles),
+    /// Never needs calling again (drained fault plan, no-op hook).
+    Idle,
 }
 
 /// The do-nothing hook [`run_actor_refs`] runs with.
@@ -206,6 +235,10 @@ pub struct NoopHook;
 impl StepHook for NoopHook {
     fn before_step(&mut self, _machine: &mut Machine, _now: Cycles) -> Result<(), ModelError> {
         Ok(())
+    }
+
+    fn schedule(&self) -> HookSchedule {
+        HookSchedule::Idle
     }
 }
 
@@ -225,6 +258,10 @@ pub fn run_actor_refs(
 
 /// Like [`run_actor_refs`] with a [`StepHook`] consulted before every step
 /// — the entry point for deterministic fault injection.
+///
+/// Dispatches on [`MachineConfig::engine`](crate::MachineConfig): the
+/// event-driven core and the cycle-stepped core produce bit-identical
+/// simulations (`tests/engine_equivalence.rs` is the gate).
 ///
 /// # Errors
 ///
@@ -250,9 +287,33 @@ pub fn run_actor_refs_hooked(
         seen[idx] = true;
     }
 
+    match machine.config().engine {
+        EngineKind::CycleStepped => run_cycle_stepped(machine, actors, horizon, hook),
+        EngineKind::EventDriven => run_event_driven(machine, actors, horizon, hook),
+    }
+}
+
+/// An actor that stops advancing its clock for this many consecutive steps
+/// is declared deadlocked (both engines, same threshold and message).
+const STUCK_LIMIT: u32 = 100_000;
+
+fn stuck_error(core: CoreId) -> ModelError {
+    ModelError::InvalidConfig {
+        reason: format!("actor on {core} made {STUCK_LIMIT} steps without advancing its clock"),
+    }
+}
+
+/// The original scheduler: scan all runnable actors for the minimum clock
+/// before every step. Kept as the differential baseline for
+/// [`run_event_driven`].
+fn run_cycle_stepped(
+    machine: &mut Machine,
+    actors: &mut [ActorRef<'_>],
+    horizon: Cycles,
+    hook: &mut dyn StepHook,
+) -> Result<(), ModelError> {
     let mut done = vec![false; actors.len()];
     let mut stuck_count = vec![0u32; actors.len()];
-    const STUCK_LIMIT: u32 = 100_000;
 
     // Host-time profiling of the step loop: wall-clock only, recorded on
     // exit — it cannot influence the simulated interleaving.
@@ -301,14 +362,135 @@ pub fn run_actor_refs_hooked(
         } else if machine.core_now(core) == before {
             stuck_count[i] += 1;
             if stuck_count[i] > STUCK_LIMIT {
-                return Err(ModelError::InvalidConfig {
-                    reason: format!(
-                        "actor on {core} made {STUCK_LIMIT} steps without advancing its clock"
-                    ),
-                });
+                return Err(stuck_error(core));
             }
         } else {
             stuck_count[i] = 0;
+        }
+    }
+}
+
+/// The event-driven scheduler core: one wake-up event per runnable actor,
+/// popped in `(time, slot, seq)` order from a deterministic [`EventQueue`].
+///
+/// Bit-identity with [`run_cycle_stepped`] rests on three facts (proved by
+/// `tests/engine_equivalence.rs` and argued in `DESIGN.md`):
+///
+/// * Queue order equals scan order. The old scheduler picks the minimum
+///   core clock, first binding slot on ties; the queue key `(time, slot,
+///   seq)` pops the same actor, because each actor has exactly one live
+///   entry.
+/// * Stale entries are lower bounds. Clocks only move forward (preemption
+///   parks to `max`, drift and busy-work add), so an entry whose recorded
+///   time no longer matches its actor's clock sorts *earlier* than the
+///   truth. Re-queueing it at the current clock on pop — lazy
+///   invalidation, the classic priority-queue trick — can therefore never
+///   pop a wrong minimum. This is how a fault preempting an actor
+///   overrides that actor's already-queued wake-up.
+/// * Skipped hook calls are no-ops. [`StepHook::schedule`] only rules out
+///   calls the hook contract declares side-effect free (`At(t)` before
+///   `t`, `Idle` always); `EveryStep` hooks run exactly as before.
+fn run_event_driven(
+    machine: &mut Machine,
+    actors: &mut [ActorRef<'_>],
+    horizon: Cycles,
+    hook: &mut dyn StepHook,
+) -> Result<(), ModelError> {
+    // No `done` flags here: a finished actor's wake-up is simply never
+    // re-queued, so the queue cannot yield it again.
+    let mut stuck_count = vec![0u32; actors.len()];
+
+    // Same host span as the cycle-stepped loop, so profiles stay
+    // comparable across engines.
+    let loop_start = std::time::Instant::now();
+    let mut steps: u64 = 0;
+    let finish = |machine: &mut Machine, steps: u64| {
+        machine
+            .obs_mut()
+            .host
+            .record_n("actor_step_loop", steps, loop_start.elapsed());
+    };
+
+    let mut queue: EventQueue<()> = EventQueue::new();
+    for (slot, (core, _, _)) in actors.iter().enumerate() {
+        let now = machine.core_now(*core);
+        if now < horizon {
+            queue.push(now, slot as u32, ());
+        }
+    }
+
+    // Pops the next wake-up whose recorded time still matches its core
+    // clock. A stale entry (the hook moved the clock since it was queued)
+    // is re-queued at the clock's current value; an entry at or past the
+    // horizon is parked (dropped — clocks never move back below it).
+    let pop_live = |queue: &mut EventQueue<()>, machine: &Machine, actors: &[ActorRef<'_>]| {
+        while let Some((key, ())) = queue.pop() {
+            let slot = key.lane as usize;
+            let now = machine.core_now(actors[slot].0);
+            if now >= horizon {
+                continue;
+            }
+            if key.time != now {
+                queue.push(now, key.lane, ());
+                continue;
+            }
+            return Some((key.time, slot));
+        }
+        None
+    };
+
+    loop {
+        let Some((now, slot)) = pop_live(&mut queue, machine, actors) else {
+            finish(machine, steps);
+            return Ok(());
+        };
+        let run_hook = match hook.schedule() {
+            HookSchedule::EveryStep => true,
+            HookSchedule::At(at) => now >= at,
+            HookSchedule::Idle => false,
+        };
+        let slot = if run_hook {
+            hook.before_step(machine, now)?;
+            // The hook may have moved clocks: put the popped actor back at
+            // its (possibly new) clock and re-select, mirroring the
+            // cycle-stepped re-pick.
+            let cur = machine.core_now(actors[slot].0);
+            if cur < horizon {
+                queue.push(cur, slot as u32, ());
+            }
+            match pop_live(&mut queue, machine, actors) {
+                Some((_, slot)) => slot,
+                None => {
+                    finish(machine, steps);
+                    return Ok(());
+                }
+            }
+        } else {
+            slot
+        };
+
+        let core = actors[slot].0;
+        let before = machine.core_now(core);
+        let outcome = {
+            let (core, proc, actor) = &mut actors[slot];
+            let mut cpu = CoreHandle::new(machine, *core, *proc);
+            actor.step(&mut cpu)?
+        };
+        steps += 1;
+        if outcome == StepOutcome::Done {
+            continue;
+        }
+        let after = machine.core_now(core);
+        if after == before {
+            stuck_count[slot] += 1;
+            if stuck_count[slot] > STUCK_LIMIT {
+                return Err(stuck_error(core));
+            }
+        } else {
+            stuck_count[slot] = 0;
+        }
+        if after < horizon {
+            queue.push(after, slot as u32, ());
         }
     }
 }
@@ -358,13 +540,19 @@ mod tests {
         }
     }
 
-    fn setup() -> (Machine, ProcId, VirtAddr) {
-        let mut m = Machine::new(MachineConfig::small()).unwrap();
+    fn setup_with(engine: EngineKind) -> (Machine, ProcId, VirtAddr) {
+        let mut m = Machine::new(MachineConfig::small().with_engine(engine)).unwrap();
         let p = m.create_process(AddressSpaceKind::Enclave);
         let base = VirtAddr::new(0x40_0000);
         m.map_pages(p, base, 2).unwrap();
         (m, p, base)
     }
+
+    fn setup() -> (Machine, ProcId, VirtAddr) {
+        setup_with(EngineKind::default())
+    }
+
+    const BOTH_ENGINES: [EngineKind; 2] = [EngineKind::CycleStepped, EngineKind::EventDriven];
 
     #[test]
     fn single_actor_runs_to_completion() {
@@ -507,6 +695,117 @@ mod tests {
         // horizon plus the burst.
         assert!(hook.times.windows(2).all(|w| w[0] <= w[1]));
         assert!(m.core_now(CoreId::new(0)) >= Cycles::new(10_000));
+    }
+
+    /// Both engines on the same two-reader workload: identical per-read
+    /// latencies and identical final clocks, step for step.
+    #[test]
+    fn engines_agree_on_shared_page_interleaving() {
+        let run = |engine: EngineKind| {
+            let (mut m, p, base) = setup_with(engine);
+            let mut a = Reader {
+                base,
+                remaining: 50,
+                latencies: Vec::new(),
+            };
+            let mut b = Reader {
+                base: base + PAGE_SIZE as u64,
+                remaining: 50,
+                latencies: Vec::new(),
+            };
+            let mut actors: Vec<ActorRef<'_>> =
+                vec![(CoreId::new(0), p, &mut a), (CoreId::new(1), p, &mut b)];
+            run_actor_refs(&mut m, &mut actors, Cycles::new(10_000_000)).unwrap();
+            (
+                a.latencies,
+                b.latencies,
+                m.core_now(CoreId::new(0)),
+                m.core_now(CoreId::new(1)),
+            )
+        };
+        assert_eq!(run(EngineKind::CycleStepped), run(EngineKind::EventDriven));
+    }
+
+    /// Both engines under a clock-moving hook: the preemption invalidates
+    /// the event engine's already-queued wake-up for core 0 (lazy
+    /// reschedule), and the observable run — every `now` the hook saw,
+    /// plus the final clock — still matches the cycle-stepped baseline.
+    #[test]
+    fn engines_agree_under_preempting_hook() {
+        struct PreemptAt {
+            at: Cycles,
+            fired: bool,
+            times: Vec<u64>,
+        }
+        impl StepHook for PreemptAt {
+            fn before_step(
+                &mut self,
+                machine: &mut Machine,
+                now: Cycles,
+            ) -> Result<(), ModelError> {
+                self.times.push(now.raw());
+                if !self.fired && now >= self.at {
+                    self.fired = true;
+                    machine.preempt_until(CoreId::new(0), now + Cycles::new(15_000));
+                }
+                Ok(())
+            }
+        }
+        let run = |engine: EngineKind| {
+            let (mut m, p, base) = setup_with(engine);
+            let mut spinner = Spinner;
+            let mut reader = Reader {
+                base,
+                remaining: 40,
+                latencies: Vec::new(),
+            };
+            let mut actors: Vec<ActorRef<'_>> = vec![
+                (CoreId::new(0), p, &mut spinner),
+                (CoreId::new(1), p, &mut reader),
+            ];
+            let mut hook = PreemptAt {
+                at: Cycles::new(2_000),
+                fired: false,
+                times: Vec::new(),
+            };
+            run_actor_refs_hooked(&mut m, &mut actors, Cycles::new(40_000), &mut hook).unwrap();
+            assert!(hook.fired);
+            (
+                hook.times,
+                reader.latencies,
+                m.core_now(CoreId::new(0)),
+                m.core_now(CoreId::new(1)),
+            )
+        };
+        assert_eq!(run(EngineKind::CycleStepped), run(EngineKind::EventDriven));
+    }
+
+    /// The deadlock guard and the horizon behave identically on the old
+    /// engine (the default-engine variants are covered above).
+    #[test]
+    fn cycle_stepped_engine_keeps_guards() {
+        for engine in BOTH_ENGINES {
+            let (mut m, p, _) = setup_with(engine);
+            let mut bindings = vec![ActorBinding {
+                core: CoreId::new(0),
+                proc: p,
+                actor: Box::new(Stuck),
+            }];
+            assert!(
+                run_actors(&mut m, &mut bindings, Cycles::new(1000)).is_err(),
+                "{engine:?} missed the stuck actor"
+            );
+
+            let (mut m, p, _) = setup_with(engine);
+            let mut bindings = vec![ActorBinding {
+                core: CoreId::new(0),
+                proc: p,
+                actor: Box::new(Spinner),
+            }];
+            run_actors(&mut m, &mut bindings, Cycles::new(10_000)).unwrap();
+            let now = m.core_now(CoreId::new(0));
+            assert!(now >= Cycles::new(10_000) && now < Cycles::new(10_200), "{engine:?}: {now}");
+        }
     }
 
     #[test]

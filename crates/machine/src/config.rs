@@ -1,12 +1,12 @@
 //! Machine configuration.
 
-use mee_cache::policy::{Fifo, Nru, RandomEviction, Srrip, TreePlru, TrueLru};
-use mee_cache::{CacheConfig, ReplacementPolicy};
+use mee_cache::policy::{Fifo, Nru, Policy, RandomEviction, Srrip, TreePlru, TrueLru};
+use mee_cache::CacheConfig;
 use mee_mem::DramConfig;
 use mee_types::{ModelError, TimingConfig};
 
 /// A cloneable description of a replacement policy, resolved to a boxed
-/// [`ReplacementPolicy`] at machine construction.
+/// [`Policy`] at machine construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PolicyKind {
     /// Tree pseudo-LRU — the MEE cache default (§5.3 "approximate LRU").
@@ -27,17 +27,34 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
-    /// Instantiates the policy.
-    pub fn build(self) -> Box<dyn ReplacementPolicy> {
+    /// Instantiates the policy, statically dispatched.
+    pub fn build(self) -> Policy {
         match self {
-            PolicyKind::TreePlru => Box::new(TreePlru::new()),
-            PolicyKind::TrueLru => Box::new(TrueLru::new()),
-            PolicyKind::Fifo => Box::new(Fifo::new()),
-            PolicyKind::Nru => Box::new(Nru::new()),
-            PolicyKind::Srrip => Box::new(Srrip::new()),
-            PolicyKind::Random { seed } => Box::new(RandomEviction::with_seed(seed)),
+            PolicyKind::TreePlru => Policy::TreePlru(TreePlru::new()),
+            PolicyKind::TrueLru => Policy::TrueLru(TrueLru::new()),
+            PolicyKind::Fifo => Policy::Fifo(Fifo::new()),
+            PolicyKind::Nru => Policy::Nru(Nru::new()),
+            PolicyKind::Srrip => Policy::Srrip(Srrip::new()),
+            PolicyKind::Random { seed } => Policy::Random(RandomEviction::with_seed(seed)),
         }
     }
+}
+
+/// Which scheduler core drives [`crate::run_actors`] and friends.
+///
+/// Both engines produce bit-identical simulations — the event-driven core
+/// is the cycle-stepped scan re-expressed over a deterministic event queue
+/// (see `DESIGN.md`, "Event-driven core"), and `tests/engine_equivalence.rs`
+/// holds the two to an empty transcript diff. The cycle-stepped core is
+/// kept as the differential baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Original scheduler: an O(actors) min-scan before every step.
+    CycleStepped,
+    /// Event-queue scheduler: wake-ups pop in `(time, slot, seq)` order
+    /// and hooks declare when they next need to run.
+    #[default]
+    EventDriven,
 }
 
 /// Full description of the simulated machine.
@@ -81,6 +98,8 @@ pub struct MachineConfig {
     /// Granularity (cycles) of the hyperthread timer mailbox: the publishing
     /// thread refreshes the timestamp every this many cycles.
     pub timer_quantum: u64,
+    /// Which scheduler core runs the actors.
+    pub engine: EngineKind,
 }
 
 impl Default for MachineConfig {
@@ -117,6 +136,7 @@ impl Default for MachineConfig {
             stall_seed: 0x57a11,
             mee_key: 0x006d_6565_5f6b_6579, // "mee_key"
             timer_quantum: 35,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -146,6 +166,13 @@ impl MachineConfig {
             dram,
             ..Self::default()
         }
+    }
+
+    /// Selects the scheduler core (differential tests pin each side).
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Disables all noise sources (jitter + stalls), keeping geometry.
@@ -194,6 +221,7 @@ impl MachineConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mee_cache::ReplacementPolicy;
 
     #[test]
     fn default_validates_and_matches_testbed() {
@@ -236,6 +264,14 @@ mod tests {
         let mut cfg = MachineConfig::default();
         cfg.l1.sets = 3;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn engine_defaults_to_event_driven_and_switches() {
+        assert_eq!(MachineConfig::default().engine, EngineKind::EventDriven);
+        let cfg = MachineConfig::small().with_engine(EngineKind::CycleStepped);
+        assert_eq!(cfg.engine, EngineKind::CycleStepped);
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -47,11 +47,13 @@
 
 mod actor;
 mod config;
+mod events;
 mod machine;
 
 pub use actor::{
     run_actor_refs, run_actor_refs_hooked, run_actors, Actor, ActorBinding, ActorRef, CoreHandle,
-    NoopHook, StepHook, StepOutcome,
+    HookSchedule, NoopHook, StepHook, StepOutcome,
 };
-pub use config::{MachineConfig, PolicyKind};
+pub use config::{EngineKind, MachineConfig, PolicyKind};
+pub use events::{EventKey, EventQueue};
 pub use machine::{CoreId, Machine, ProcId};

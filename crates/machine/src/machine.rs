@@ -11,9 +11,8 @@ use mee_mem::{
 };
 use mee_obs::{EventKind, MemOpKind, Obs, ServedAt, Tracer, WalkLevel};
 use mee_tree::TreeGeometry;
-use mee_types::{Cycles, LineAddr, ModelError, PhysAddr, VirtAddr, PAGE_SIZE};
+use mee_types::{Cycles, FxHashMap, LineAddr, ModelError, PhysAddr, VirtAddr, PAGE_SIZE};
 use mee_rng::{stream_seed, Rng};
-use std::collections::HashMap;
 
 use crate::config::MachineConfig;
 
@@ -84,7 +83,7 @@ pub struct Machine {
     prm_alloc: FrameAllocator,
     /// Functional store for general-region lines (protected lines live in
     /// the integrity tree).
-    general_store: HashMap<LineAddr, u64>,
+    general_store: FxHashMap<LineAddr, u64>,
     rng: Rng,
     /// Where the MEE walk of the most recent memory op stopped (`None` if
     /// the op never reached the MEE).
@@ -163,7 +162,7 @@ impl Machine {
             procs: Vec::new(),
             general_alloc,
             prm_alloc,
-            general_store: HashMap::new(),
+            general_store: FxHashMap::default(),
             last_mee_hit: None,
             obs: Obs::off(),
         })
@@ -408,11 +407,10 @@ impl Machine {
         proc: ProcId,
         va: VirtAddr,
     ) -> Result<(Cycles, u64), ModelError> {
-        let lat = self.mem_op(core, proc, va, None)?;
-        let pa = self.translate(proc, va)?;
-        let value = match self.layout.classify(pa)? {
-            RegionKind::ProtectedData => self.mee.tree_mut().peek(pa.line())?,
-            _ => self.general_store.get(&pa.line()).copied().unwrap_or(0),
+        let (lat, line, kind) = self.mem_op_classified(core, proc, va, None)?;
+        let value = match kind {
+            RegionKind::ProtectedData => self.mee.tree_mut().peek(line)?,
+            _ => self.general_store.get(&line).copied().unwrap_or(0),
         };
         Ok((lat, value))
     }
@@ -538,12 +536,12 @@ impl Machine {
             return;
         }
         let mut wake = deadline;
-        for (at, dur) in c.stalls.stall_events_in(c.now, deadline) {
+        c.stalls.for_each_stall_in(c.now, deadline, |at, dur| {
             let end = at + dur;
             if end > wake {
                 wake = end;
             }
-        }
+        });
         c.now = wake;
     }
 
@@ -751,6 +749,19 @@ impl Machine {
         va: VirtAddr,
         store: Option<u64>,
     ) -> Result<Cycles, ModelError> {
+        self.mem_op_classified(core, proc, va, store)
+            .map(|(lat, _, _)| lat)
+    }
+
+    /// [`Self::mem_op`] that also returns the physical line and its region,
+    /// so value-returning loads need not translate twice.
+    fn mem_op_classified(
+        &mut self,
+        core: CoreId,
+        proc: ProcId,
+        va: VirtAddr,
+        store: Option<u64>,
+    ) -> Result<(Cycles, LineAddr, RegionKind), ModelError> {
         self.check_core(core)?;
         let pa = self.translate(proc, va)?;
         let kind = self.layout.classify(pa)?;
@@ -873,7 +884,7 @@ impl Machine {
                 );
             }
         }
-        Ok(elapsed)
+        Ok((elapsed, line, kind))
     }
 }
 

@@ -110,34 +110,46 @@ impl StallGenerator {
 
     /// Returns the total stall cycles triggered in the half-open window
     /// `[from, to)` of a core's local clock, advancing internal state.
+    ///
+    /// Allocation-free: this runs once per simulated memory op.
     pub fn stall_in(&mut self, from: Cycles, to: Cycles) -> Cycles {
-        self.stall_events_in(from, to)
-            .into_iter()
-            .map(|(_, dur)| dur)
-            .sum()
+        let mut total = Cycles::ZERO;
+        self.for_each_stall_in(from, to, |_, dur| total += dur);
+        total
     }
 
-    /// Returns every stall event triggered in `[from, to)` as
-    /// `(trigger_time, duration)` pairs, advancing internal state.
+    /// Calls `f(trigger_time, duration)` for every stall event triggered in
+    /// `[from, to)`, advancing internal state.
     ///
     /// Used by the machine's busy-wait primitive, where only the portion of
     /// a stall spilling past the wake-up deadline actually delays the
     /// waiter.
-    pub fn stall_events_in(&mut self, from: Cycles, to: Cycles) -> Vec<(Cycles, Cycles)> {
-        let mut events = Vec::new();
+    pub fn for_each_stall_in(
+        &mut self,
+        from: Cycles,
+        to: Cycles,
+        mut f: impl FnMut(Cycles, Cycles),
+    ) {
         while self.next_at >= from.raw() && self.next_at < to.raw() {
             let dur = if self.min == self.max {
                 self.min.raw()
             } else {
                 self.rng.random_range(self.min.raw()..=self.max.raw())
             };
-            events.push((Cycles::new(self.next_at), Cycles::new(dur)));
+            f(Cycles::new(self.next_at), Cycles::new(dur));
             self.next_at = self.draw_interval(self.next_at);
         }
         // If the clock jumped past pending stalls entirely, catch up.
         while self.next_at < from.raw() {
             self.next_at = self.draw_interval(from.raw());
         }
+    }
+
+    /// Collects [`Self::for_each_stall_in`] events into a `Vec` — the
+    /// convenient form for tests and cold paths.
+    pub fn stall_events_in(&mut self, from: Cycles, to: Cycles) -> Vec<(Cycles, Cycles)> {
+        let mut events = Vec::new();
+        self.for_each_stall_in(from, to, |at, dur| events.push((at, dur)));
         events
     }
 }

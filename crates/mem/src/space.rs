@@ -1,8 +1,6 @@
 //! Per-tenant virtual address spaces.
 
-use std::collections::BTreeMap;
-
-use mee_types::{ModelError, PhysAddr, Ppn, VirtAddr, Vpn, PAGE_SIZE};
+use mee_types::{FxHashMap, ModelError, PhysAddr, Ppn, VirtAddr, Vpn, PAGE_SIZE};
 
 /// Whether an address space is an SGX enclave.
 ///
@@ -22,13 +20,14 @@ pub enum AddressSpaceKind {
 
 /// A single tenant's virtual→physical mapping.
 ///
-/// Deliberately minimal: a sorted map of 4 KiB translations. The simulator
-/// cares about *which physical lines* a program touches, not about
-/// permissions or dirty bits.
+/// Deliberately minimal: a hash map of 4 KiB translations (translation is
+/// on the hot path of every memory op, so lookups must be O(1)). The
+/// simulator cares about *which physical lines* a program touches, not
+/// about permissions or dirty bits.
 #[derive(Debug, Clone)]
 pub struct AddressSpace {
     kind: AddressSpaceKind,
-    table: BTreeMap<Vpn, Ppn>,
+    table: FxHashMap<Vpn, Ppn>,
 }
 
 impl AddressSpace {
@@ -36,7 +35,7 @@ impl AddressSpace {
     pub fn new(kind: AddressSpaceKind) -> Self {
         AddressSpace {
             kind,
-            table: BTreeMap::new(),
+            table: FxHashMap::default(),
         }
     }
 
@@ -85,8 +84,13 @@ impl AddressSpace {
     }
 
     /// Iterates over mappings in VPN order.
+    ///
+    /// Sorts on each call — this is a debugging/introspection API, not a
+    /// hot path; the backing table is unordered.
     pub fn iter(&self) -> impl Iterator<Item = (Vpn, Ppn)> + '_ {
-        self.table.iter().map(|(&v, &p)| (v, p))
+        let mut pairs: Vec<(Vpn, Ppn)> = self.table.iter().map(|(&v, &p)| (v, p)).collect();
+        pairs.sort_unstable_by_key(|&(v, _)| v);
+        pairs.into_iter()
     }
 
     /// Total mapped bytes.

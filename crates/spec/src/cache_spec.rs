@@ -255,8 +255,8 @@ pub fn check_plru_matches_lru(sets: usize, ways: usize, ops: &[CacheOp]) -> Resu
         ways,
         line_size: 64,
     };
-    let mut plru = SetAssocCache::new(cfg, Box::new(TreePlru::new()));
-    let mut lru = SetAssocCache::new(cfg, Box::new(TrueLru::new()));
+    let mut plru = SetAssocCache::new(cfg, TreePlru::new());
+    let mut lru = SetAssocCache::new(cfg, TrueLru::new());
     for (i, op) in ops.iter().enumerate() {
         match *op {
             CacheOp::Access(l) => {

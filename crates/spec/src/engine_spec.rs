@@ -247,7 +247,7 @@ pub fn check_walk_program(
                     expected.push(tag_line);
                 }
                 expected.extend_from_slice(&ladder_lines[..hl.min(4)]);
-                let mut got = access.filled.clone();
+                let mut got = access.filled.to_vec();
                 got.sort_unstable();
                 expected.sort_unstable();
                 if got != expected {

@@ -1,8 +1,6 @@
 //! The functional integrity tree: counters, tags, verification.
 
-use std::collections::HashMap;
-
-use mee_types::{LineAddr, ModelError, TREE_ARITY};
+use mee_types::{FxHashMap, LineAddr, ModelError, TREE_ARITY};
 
 use crate::geometry::{TreeGeometry, TreeLevel};
 use crate::mac::MacTag;
@@ -16,14 +14,23 @@ use crate::mac::MacTag;
 ///
 /// Data contents are modeled as 64-bit digests (the simulator tracks *where*
 /// data is and *whether it verifies*, not full byte contents).
+///
+/// Tag storage is **lazy**: a fresh tree's half-million tags are all
+/// deterministic functions of the all-zero initial state, so they are not
+/// materialized at construction. An absent map entry *is* the pristine tag;
+/// it only becomes an explicit entry when a write (or a replayed snapshot)
+/// re-tags that line/node. Verification of an absent entry short-circuits to
+/// "is the covered state still all-zero?", falling back to comparing the
+/// recomputed pristine MAC on the rare tampered path — bit-identical to
+/// storing every tag eagerly, at none of the construction cost.
 #[derive(Debug, Clone)]
 pub struct IntegrityTree {
     geo: TreeGeometry,
     key: u64,
     /// Digest per data line, sparse; unwritten lines read as 0.
-    digests: HashMap<u64, u64>,
-    /// PD_Tag per data line.
-    pd_tags: Vec<MacTag>,
+    digests: FxHashMap<u64, u64>,
+    /// PD_Tag per data line, sparse; absent = pristine tag.
+    pd_tags: FxHashMap<u64, MacTag>,
     /// Freshness counter per data line (contents of version lines).
     ctr_data: Vec<u64>,
     /// Counter per version line (contents of L0 lines).
@@ -34,13 +41,24 @@ pub struct IntegrityTree {
     ctr_l1: Vec<u64>,
     /// Counter per L2 line (on-die root SRAM — tamper-proof by assumption).
     ctr_l2: Vec<u64>,
-    /// Embedded MAC per node line, per level.
-    mac_version: Vec<MacTag>,
-    mac_l0: Vec<MacTag>,
-    mac_l1: Vec<MacTag>,
-    mac_l2: Vec<MacTag>,
+    /// Embedded MAC per node line, per level, sparse; absent = pristine MAC.
+    mac_version: FxHashMap<u64, MacTag>,
+    mac_l0: FxHashMap<u64, MacTag>,
+    mac_l1: FxHashMap<u64, MacTag>,
+    mac_l2: FxHashMap<u64, MacTag>,
     reads: u64,
     writes: u64,
+    /// Mutation generation: bumped by every state change (write, tamper,
+    /// replay). Verification results are memoized against it.
+    generation: u64,
+    /// Generation at which each data line's `PD_Tag` last verified
+    /// (`0` = never). A stamp equal to [`Self::generation`] proves the line
+    /// verified against the *current* state, so the MAC recomputation can
+    /// be skipped — verification is pure, so this is observationally
+    /// identical and saves the dominant per-read host cost.
+    verified_pd: Vec<u64>,
+    /// Same memo per node, per level (Version, L0, L1, L2).
+    verified_node: [Vec<u64>; 4],
 }
 
 /// Folds child counters into a MAC payload word.
@@ -61,39 +79,32 @@ impl IntegrityTree {
         let l0 = geo.lines_at(TreeLevel::L0) as usize;
         let l1 = geo.lines_at(TreeLevel::L1) as usize;
         let l2 = geo.lines_at(TreeLevel::L2) as usize;
-        let mut tree = IntegrityTree {
+        IntegrityTree {
             geo,
             key,
-            digests: HashMap::new(),
-            pd_tags: vec![MacTag::default(); data_lines],
+            digests: FxHashMap::default(),
+            pd_tags: FxHashMap::default(),
             ctr_data: vec![0; data_lines],
             ctr_version: vec![0; v],
             ctr_l0: vec![0; l0],
             ctr_l1: vec![0; l1],
             ctr_l2: vec![0; l2],
-            mac_version: vec![MacTag::default(); v],
-            mac_l0: vec![MacTag::default(); l0],
-            mac_l1: vec![MacTag::default(); l1],
-            mac_l2: vec![MacTag::default(); l2],
+            mac_version: FxHashMap::default(),
+            mac_l0: FxHashMap::default(),
+            mac_l1: FxHashMap::default(),
+            mac_l2: FxHashMap::default(),
             reads: 0,
             writes: 0,
-        };
-        for idx in 0..data_lines as u64 {
-            tree.pd_tags[idx as usize] = tree.pd_tag_for(idx);
+            generation: 1,
+            verified_pd: vec![0; data_lines],
+            verified_node: [vec![0; v], vec![0; l0], vec![0; l1], vec![0; l2]],
         }
-        for node in 0..v as u64 {
-            tree.mac_version[node as usize] = tree.node_mac(TreeLevel::Version, node);
-        }
-        for node in 0..l0 as u64 {
-            tree.mac_l0[node as usize] = tree.node_mac(TreeLevel::L0, node);
-        }
-        for node in 0..l1 as u64 {
-            tree.mac_l1[node as usize] = tree.node_mac(TreeLevel::L1, node);
-        }
-        for node in 0..l2 as u64 {
-            tree.mac_l2[node as usize] = tree.node_mac(TreeLevel::L2, node);
-        }
-        tree
+    }
+
+    /// Invalidates every memoized verification result. Every mutation path
+    /// must call this before returning.
+    fn touch(&mut self) {
+        self.generation += 1;
     }
 
     /// The geometry of this tree.
@@ -120,6 +131,7 @@ impl IntegrityTree {
     /// Returns [`ModelError::BadPhysAddr`] if the line is not protected data.
     pub fn write(&mut self, data_line: LineAddr, digest: u64) -> Result<(), ModelError> {
         self.check_covered(data_line)?;
+        self.touch();
         self.writes += 1;
         let idx = self.geo.data_line_index(data_line);
         let p = self.geo.walk_path(data_line);
@@ -131,11 +143,16 @@ impl IntegrityTree {
         self.ctr_l2[p.l2 as usize] = self.ctr_l2[p.l2 as usize].wrapping_add(1);
 
         self.digests.insert(idx, digest);
-        self.pd_tags[idx as usize] = self.pd_tag_for(idx);
-        self.mac_version[p.version as usize] = self.node_mac(TreeLevel::Version, p.version);
-        self.mac_l0[p.l0 as usize] = self.node_mac(TreeLevel::L0, p.l0);
-        self.mac_l1[p.l1 as usize] = self.node_mac(TreeLevel::L1, p.l1);
-        self.mac_l2[p.l2 as usize] = self.node_mac(TreeLevel::L2, p.l2);
+        let tag = self.pd_tag_for(idx);
+        self.pd_tags.insert(idx, tag);
+        let mac = self.node_mac(TreeLevel::Version, p.version);
+        self.mac_version.insert(p.version, mac);
+        let mac = self.node_mac(TreeLevel::L0, p.l0);
+        self.mac_l0.insert(p.l0, mac);
+        let mac = self.node_mac(TreeLevel::L1, p.l1);
+        self.mac_l1.insert(p.l1, mac);
+        let mac = self.node_mac(TreeLevel::L2, p.l2);
+        self.mac_l2.insert(p.l2, mac);
         Ok(())
     }
 
@@ -185,7 +202,7 @@ impl IntegrityTree {
             line: data_line,
             level,
         };
-        if self.pd_tags[idx as usize] != self.pd_tag_for(idx) {
+        if !self.pd_tag_verifies(idx) {
             return Err(violation(0));
         }
         let checks: [(TreeLevel, u64, usize); 4] = [
@@ -195,17 +212,61 @@ impl IntegrityTree {
             (TreeLevel::L2, p.l2, 3),
         ];
         for &(level, node, report) in checks.iter().take(node_levels) {
-            let stored = match level {
-                TreeLevel::Version => self.mac_version[node as usize],
-                TreeLevel::L0 => self.mac_l0[node as usize],
-                TreeLevel::L1 => self.mac_l1[node as usize],
-                TreeLevel::L2 => self.mac_l2[node as usize],
-            };
-            if stored != self.node_mac(level, node) {
+            if !self.node_mac_verifies(level, node) {
                 return Err(violation(report));
             }
         }
         Ok(self.digests.get(&idx).copied().unwrap_or(0))
+    }
+
+    /// Checks the stored `PD_Tag` of a data line against a recomputation.
+    ///
+    /// An absent entry is the tag the fresh tree would have stored
+    /// (digest 0, counter 0): if the current state is still all-zero the
+    /// recomputation trivially matches; otherwise fall back to comparing
+    /// the explicit pristine MAC, which is what the eager store compared.
+    fn pd_tag_verifies(&mut self, idx: u64) -> bool {
+        if self.verified_pd[idx as usize] == self.generation {
+            return true;
+        }
+        let ok = match self.pd_tags.get(&idx) {
+            Some(stored) => *stored == self.pd_tag_for(idx),
+            None => {
+                let digest = self.digests.get(&idx).copied().unwrap_or(0);
+                (digest == 0 && self.ctr_data[idx as usize] == 0)
+                    || MacTag::compute(self.key, idx, 0, 0) == self.pd_tag_for(idx)
+            }
+        };
+        if ok {
+            self.verified_pd[idx as usize] = self.generation;
+        }
+        ok
+    }
+
+    /// Checks a stored node MAC against a recomputation, treating an absent
+    /// entry as the pristine (all-zero-state) MAC — see [`Self::pd_tag_verifies`].
+    fn node_mac_verifies(&mut self, level: TreeLevel, node: u64) -> bool {
+        if self.verified_node[level.ladder_index()][node as usize] == self.generation {
+            return true;
+        }
+        let stored = match level {
+            TreeLevel::Version => self.mac_version.get(&node),
+            TreeLevel::L0 => self.mac_l0.get(&node),
+            TreeLevel::L1 => self.mac_l1.get(&node),
+            TreeLevel::L2 => self.mac_l2.get(&node),
+        };
+        let ok = match stored {
+            Some(stored) => *stored == self.node_mac(level, node),
+            None => {
+                let (children, freshness) = self.node_inputs(level, node);
+                (freshness == 0 && children.iter().all(|&c| c == 0))
+                    || self.pristine_node_mac(level, node) == self.node_mac(level, node)
+            }
+        };
+        if ok {
+            self.verified_node[level.ladder_index()][node as usize] = self.generation;
+        }
+        ok
     }
 
     /// Corrupts the stored digest of a data line without re-tagging — an
@@ -216,6 +277,7 @@ impl IntegrityTree {
     /// Returns [`ModelError::BadPhysAddr`] if the line is not protected data.
     pub fn tamper_digest(&mut self, data_line: LineAddr) -> Result<(), ModelError> {
         self.check_covered(data_line)?;
+        self.touch();
         let idx = self.geo.data_line_index(data_line);
         let old = self.digests.get(&idx).copied().unwrap_or(0);
         self.digests.insert(idx, old ^ 0x1);
@@ -236,6 +298,7 @@ impl IntegrityTree {
              ({} lines)",
             self.geo.lines_at(level)
         );
+        self.touch();
         match level {
             TreeLevel::Version => {
                 // Counters *in* a version line are the per-data-line ones.
@@ -261,10 +324,11 @@ impl IntegrityTree {
         snapshot: (u64, MacTag, u64),
     ) -> Result<(), ModelError> {
         self.check_covered(data_line)?;
+        self.touch();
         let idx = self.geo.data_line_index(data_line) as usize;
         let (digest, tag, ctr) = snapshot;
         self.digests.insert(idx as u64, digest);
-        self.pd_tags[idx] = tag;
+        self.pd_tags.insert(idx as u64, tag);
         self.ctr_data[idx] = ctr;
         // Recompute the version-line MAC as the attacker would have captured
         // it — but its freshness input (the L0 counter) has moved on, so
@@ -284,7 +348,10 @@ impl IntegrityTree {
         let idx = self.geo.data_line_index(data_line) as usize;
         Ok((
             self.digests.get(&(idx as u64)).copied().unwrap_or(0),
-            self.pd_tags[idx],
+            self.pd_tags
+                .get(&(idx as u64))
+                .copied()
+                .unwrap_or_else(|| MacTag::compute(self.key, idx as u64, 0, 0)),
             self.ctr_data[idx],
         ))
     }
@@ -319,9 +386,9 @@ impl IntegrityTree {
         MacTag::compute(self.key, idx, digest, self.ctr_data[idx as usize])
     }
 
-    /// Embedded MAC of node `node` at `level`: MAC over the node's child
-    /// counters, fresh under the node's own counter held one level up.
-    fn node_mac(&self, level: TreeLevel, node: u64) -> MacTag {
+    /// The child-counter slice and freshness counter feeding node `node`'s
+    /// MAC at `level`.
+    fn node_inputs(&self, level: TreeLevel, node: u64) -> (&[u64], u64) {
         let arity = TREE_ARITY as u64;
         let (children, freshness): (&[u64], u64) = match level {
             TreeLevel::Version => (&self.ctr_data, self.ctr_version[node as usize]),
@@ -331,9 +398,25 @@ impl IntegrityTree {
         };
         let start = (node * arity) as usize;
         let end = (start + arity as usize).min(children.len());
-        let payload = fold_payload(children[start..end].iter().copied());
+        (&children[start..end], freshness)
+    }
+
+    /// Embedded MAC of node `node` at `level`: MAC over the node's child
+    /// counters, fresh under the node's own counter held one level up.
+    fn node_mac(&self, level: TreeLevel, node: u64) -> MacTag {
+        let (children, freshness) = self.node_inputs(level, node);
+        let payload = fold_payload(children.iter().copied());
         let tweak = self.geo.level_line(level, node).raw();
         MacTag::compute(self.key, tweak, payload, freshness)
+    }
+
+    /// The MAC a fresh tree would have stored for node `node` at `level`:
+    /// all child counters and the freshness counter zero.
+    fn pristine_node_mac(&self, level: TreeLevel, node: u64) -> MacTag {
+        let (children, _) = self.node_inputs(level, node);
+        let payload = fold_payload(std::iter::repeat_n(0, children.len()));
+        let tweak = self.geo.level_line(level, node).raw();
+        MacTag::compute(self.key, tweak, payload, 0)
     }
 }
 
@@ -409,6 +492,35 @@ mod tests {
                 "counter tamper at {level:?} not detected"
             );
         }
+    }
+
+    #[test]
+    fn tamper_on_never_written_line_detected() {
+        // Exercises the lazy-tag slow path: the victim line has no explicit
+        // tag entry (never written), so detection must come from comparing
+        // against the pristine MAC.
+        let mut t = tree();
+        let line = data_line(&t, 11);
+        t.tamper_digest(line).unwrap();
+        match t.read_verified(line) {
+            Err(ModelError::IntegrityViolation { level, .. }) => assert_eq!(level, 0),
+            other => panic!("tamper on pristine line not detected: {other:?}"),
+        }
+        // A pristine counter tamper is likewise caught without any stored tag.
+        let mut t = tree();
+        t.tamper_counter(TreeLevel::L0, 0);
+        assert!(t.read_verified(data_line(&t, 0)).is_err());
+    }
+
+    #[test]
+    fn snapshot_of_pristine_line_replays_cleanly() {
+        // A snapshot taken before any write must capture the pristine tag,
+        // so replaying it onto the untouched line is a no-op that verifies.
+        let mut t = tree();
+        let line = data_line(&t, 8);
+        let snap = t.snapshot(line).unwrap();
+        t.replay(line, snap).unwrap();
+        assert_eq!(t.read_verified(line).unwrap(), 0);
     }
 
     #[test]

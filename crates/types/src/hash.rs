@@ -1,0 +1,121 @@
+//! A fast, fixed-seed hasher for the simulator's hot functional maps.
+//!
+//! The std `HashMap` default (`SipHash` with a per-process random seed) is
+//! built to resist hash-flooding from untrusted keys. Every map in this
+//! workspace is keyed by simulator-internal integers (line indices, VPNs),
+//! so that defence buys nothing and costs a long dependency chain of rounds
+//! per lookup on the hottest paths (integrity-tree digests, the backing
+//! store, address translation).
+//!
+//! [`FxHasher`] is the classic multiply-rotate word hasher (the same shape
+//! rustc uses internally): one rotate, one xor, one multiply per 8 bytes.
+//! The seed is a compile-time constant, which also removes the only source
+//! of cross-process nondeterminism std maps had — not observable before
+//! (no map iteration order leaks into results), but one less thing to
+//! reason about when proving bit-identity between engines.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+/// One-shot word-mixing hasher; see the module docs for rationale.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            self.add_word(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+}
+
+/// `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed through [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(0xdead_beefu64), hash_of(0xdead_beefu64));
+        assert_ne!(hash_of(1u64), hash_of(2u64));
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1024u64 {
+            m.insert(i * 7, i);
+        }
+        for i in 0..1024u64 {
+            assert_eq!(m.get(&(i * 7)), Some(&i));
+        }
+        assert_eq!(m.get(&3), None);
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes() {
+        // `write` on an 8-byte LE buffer must agree with `write_u64`, so
+        // derived `Hash` impls (which may go through either) stay stable.
+        let mut a = FxHasher::default();
+        a.write(&42u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -25,11 +25,13 @@
 mod addr;
 mod cycles;
 mod error;
+pub mod hash;
 mod timing;
 
 pub use addr::{LineAddr, PhysAddr, Ppn, VirtAddr, Vpn};
 pub use cycles::Cycles;
 pub use error::ModelError;
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use timing::TimingConfig;
 
 /// Size of a virtual-memory page in bytes (SGX enclaves only support 4 KiB
