@@ -53,6 +53,37 @@ for key in name root_seed sessions threads bits_per_session raw_ber_off \
     { echo "BENCH_resilience.json schema drift: missing key '${key}'" >&2; exit 1; }
 done
 
+# The crash-safe campaign smoke: run a reference campaign, kill a second
+# one mid-flight with deterministic crash injection (exit 3), resume it at
+# a different thread count, and require the resumed artifact to be
+# byte-identical to the uninterrupted reference — the kill/resume
+# determinism contract, enforced with cmp on every CI run. Then hold
+# BENCH_campaign.json to its schema like the other artifacts.
+echo "== bench-campaign kill/resume smoke"
+CAMPAIGN_TMP=$(mktemp -d)
+trap 'rm -rf "${CAMPAIGN_TMP}"' EXIT
+cargo run --release --offline -p mee-bench --bin bench-campaign -- 2019 1 --threads 2 \
+  --dir "${CAMPAIGN_TMP}/ref" --out BENCH_campaign.json >/dev/null
+if cargo run --release --offline -p mee-bench --bin bench-campaign -- 2019 1 --threads 2 \
+  --dir "${CAMPAIGN_TMP}/kill" --abort-after 2 \
+  --out "${CAMPAIGN_TMP}/aborted.json" >/dev/null 2>&1; then
+  echo "bench-campaign: injected abort did not fail the process" >&2; exit 1
+else
+  status=$?
+  [ "${status}" -eq 3 ] ||
+    { echo "bench-campaign: expected exit 3 on injected abort, got ${status}" >&2; exit 1; }
+fi
+cargo run --release --offline -p mee-bench --bin bench-campaign -- 2019 1 --threads 4 \
+  --dir "${CAMPAIGN_TMP}/kill" --resume --out "${CAMPAIGN_TMP}/resumed.json" >/dev/null
+cmp BENCH_campaign.json "${CAMPAIGN_TMP}/resumed.json" ||
+  { echo "bench-campaign: resumed artifact differs from uninterrupted reference" >&2; exit 1; }
+for key in name root_seed sessions_planned shards sessions_aggregated \
+           quarantined_shards missing_sessions series count mean var min max \
+           p10 p50 p90 p95; do
+  grep -q "\"${key}\":" BENCH_campaign.json ||
+    { echo "BENCH_campaign.json schema drift: missing key '${key}'" >&2; exit 1; }
+done
+
 # Smoke-run the traced-session exporter (seed 2019, light fault plan) and
 # hold BENCH_trace.json to its schema. The binary itself exits non-zero if
 # the four event categories are not all present or if the traced metrics

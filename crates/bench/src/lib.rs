@@ -18,6 +18,7 @@
 //! on stdout). Run it with `cargo run --release -p mee-bench --bin
 //! bench-simulator` / `--bin bench-channel`.
 
+pub mod campaign;
 pub mod harness;
 pub mod output;
 pub mod resilience;

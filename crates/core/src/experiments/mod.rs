@@ -7,6 +7,7 @@
 //! `mee-bench` crate exposes each as a binary.
 
 pub mod ablation;
+pub mod campaign;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
@@ -21,6 +22,10 @@ pub mod timers;
 pub mod wide;
 
 pub use ablation::{run_ablation, AblationResult};
+pub use campaign::{
+    run_channel_campaign, run_fig5_campaign, run_fig6_campaign, CHANNEL_SERIES, FIG5_SERIES,
+    FIG6_SERIES,
+};
 pub use fig4::{run_fig4, Fig4Result};
 pub use fig5::{run_fig5, Fig5Result};
 pub use fig6::{run_fig6, run_fig6_with, Fig6Result};

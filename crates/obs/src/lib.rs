@@ -17,16 +17,23 @@
 //! [`export`] renders the captured events as deterministic JSON lines or
 //! as a Chrome `trace_event` document (Perfetto-loadable).
 //!
+//! A fourth, host-level concern sits beside them: [`campaign`] is the
+//! typed phase/fault event log of a sharded campaign run (shard started /
+//! checkpointed / panicked / timed out / quarantined), keyed by shard so
+//! its rendering is deterministic even though shards execute concurrently.
+//!
 //! This crate sits just above `mee-types`/`mee-rng` in the layer map so
 //! every simulator layer (engine, machine, faults, channel, sweep, bench)
 //! can use it without cycles.
 
+pub mod campaign;
 pub mod event;
 pub mod export;
 pub mod metrics;
 pub mod profile;
 pub mod tracer;
 
+pub use campaign::{CampaignLog, ShardEvent};
 pub use event::{Event, EventKind, MemOpKind, ServedAt, WalkLevel};
 pub use export::{chrome_trace, event_jsonl, ChromeTraceOptions};
 pub use metrics::{LatencyHistogram, MetricsRegistry, OpMetrics};

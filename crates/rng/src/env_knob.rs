@@ -1,7 +1,8 @@
 //! Strict parsing for workspace environment knobs.
 //!
 //! Every env override in the workspace (`MEE_PROP_CASES`, `MEE_PROP_SEED`,
-//! `MEE_BENCH_SAMPLES`, `MEE_SWEEP_THREADS`) goes through this module so a
+//! `MEE_BENCH_SAMPLES`, `MEE_SWEEP_THREADS`, `MEE_CAMPAIGN_SHARDS`,
+//! `MEE_CAMPAIGN_DIR`) goes through this module so a
 //! typo'd value fails loudly and identically everywhere, instead of some
 //! knobs validating strictly while others silently fall back to defaults
 //! (or accept `0` and fail much later with a confusing message).
@@ -64,6 +65,40 @@ pub fn parse_unsigned<T: FromStr>(name: &'static str, value: &str) -> Result<T, 
         value: value.to_owned(),
         expected: "an unsigned integer",
     })
+}
+
+/// Parses a non-empty string override (paths, directory names). The value
+/// is trimmed; whitespace-only values fail like empty ones, so
+/// `MEE_CAMPAIGN_DIR=" "` cannot silently name the current directory.
+///
+/// # Errors
+///
+/// Returns an [`EnvKnobError`] echoing the variable name and value.
+pub fn parse_nonempty(name: &'static str, value: &str) -> Result<String, EnvKnobError> {
+    let trimmed = value.trim();
+    if trimmed.is_empty() {
+        Err(EnvKnobError {
+            name,
+            value: value.to_owned(),
+            expected: "a non-empty path",
+        })
+    } else {
+        Ok(trimmed.to_owned())
+    }
+}
+
+/// Reads a non-empty-string knob from the environment. Returns `None` when
+/// the variable is unset.
+///
+/// # Panics
+///
+/// Panics with the [`EnvKnobError`] message when the variable is set but
+/// empty (or whitespace-only) — an override must never silently fall back
+/// to a default.
+pub fn nonempty_from_env(name: &'static str) -> Option<String> {
+    std::env::var(name)
+        .ok()
+        .map(|v| parse_nonempty(name, &v).unwrap_or_else(|e| panic!("{e}")))
 }
 
 /// Reads a positive-integer knob from the environment. Returns `None` when
@@ -129,5 +164,25 @@ mod tests {
     fn env_readers_return_none_when_unset() {
         assert_eq!(positive_from_env::<usize>("MEE_UNSET_KNOB_A"), None);
         assert_eq!(unsigned_from_env::<u64>("MEE_UNSET_KNOB_B"), None);
+        assert_eq!(nonempty_from_env("MEE_UNSET_KNOB_C"), None);
+    }
+
+    #[test]
+    fn nonempty_accepts_paths_and_rejects_blank() {
+        assert_eq!(
+            parse_nonempty("MEE_CAMPAIGN_DIR", "/tmp/campaign"),
+            Ok("/tmp/campaign".to_owned())
+        );
+        assert_eq!(
+            parse_nonempty("MEE_CAMPAIGN_DIR", "  rel/dir "),
+            Ok("rel/dir".to_owned()),
+            "whitespace trimmed"
+        );
+        for bad in ["", "   ", "\t"] {
+            let err = parse_nonempty("MEE_CAMPAIGN_DIR", bad).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("MEE_CAMPAIGN_DIR"), "no var name in: {msg}");
+            assert!(msg.contains("non-empty path"), "no grammar in: {msg}");
+        }
     }
 }

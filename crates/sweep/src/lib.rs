@@ -31,12 +31,30 @@
 //! assert_eq!(serial, parallel); // bit-identical, any thread count
 //! ```
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use mee_obs::HostProfile;
 use mee_rng::stream_seed;
+
+/// Renders a caught panic payload for re-propagation with shard context.
+/// Panic payloads are almost always `&str` or `String`; anything else is
+/// reported as opaque rather than lost.
+/// Best-effort extraction of a panic payload's human-readable message
+/// (`&str` and `String` payloads; anything else is reported opaquely).
+/// Shared with higher orchestration layers (campaigns) so every enriched
+/// panic reads the same.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
 
 /// The [`HostProfile`] span name under which [`Sweep::run_profiled`]
 /// records each worker's shard: one `record_n` per worker, with the count
@@ -102,6 +120,20 @@ pub struct SessionSpec {
     pub index: usize,
     /// The session's root-derived RNG seed.
     pub seed: u64,
+}
+
+/// The panic-context formatter of a seed sweep: names the session, its
+/// split seed, and a one-line replay recipe in the `mee-spec`
+/// counterexample style, so a crashed sweep pinpoints the exact session to
+/// rerun standalone.
+fn seed_sweep_context(root: u64, n: usize) -> impl Fn(usize, &SessionSpec) -> String {
+    move |i, spec| {
+        format!(
+            "sweep session {i} of {n} (seed 0x{seed:016x}) panicked | replay: rerun session \
+             {i} alone — its seed is stream_seed({root}, {i})",
+            seed = spec.seed
+        )
+    }
 }
 
 /// Derives the per-session specs of an `n`-session sweep rooted at `root`.
@@ -195,7 +227,11 @@ impl Sweep {
     /// nondeterministic — but `f` receives only the index and the item, and
     /// each result is placed by index, so the returned vector is identical
     /// for any thread count. A panic inside `f` propagates to the caller
-    /// (scoped-thread joins re-raise it).
+    /// **with shard context attached**: the payload names the panicking
+    /// session's index and a one-line replay recipe, and when several
+    /// sessions panic the *lowest-indexed* one is reported, deterministically
+    /// — the whole queue is drained first, so the report cannot depend on
+    /// which worker crashed first.
     pub fn run<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
     where
         I: Sync,
@@ -203,35 +239,10 @@ impl Sweep {
         F: Fn(usize, &I) -> T + Sync,
     {
         let n = items.len();
-        let workers = self.threads.min(n);
-        if workers <= 1 {
-            return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
-        }
-
-        let next = AtomicUsize::new(0);
-        let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    // Collect locally and merge once at the end: the mutex
-                    // is touched once per worker, not once per session.
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, f(i, &items[i])));
-                    }
-                    collected.lock().unwrap().extend(local);
-                });
-            }
-        });
-
-        let mut indexed = collected.into_inner().unwrap();
-        indexed.sort_unstable_by_key(|&(i, _)| i);
-        debug_assert_eq!(indexed.len(), n, "work queue dropped sessions");
-        indexed.into_iter().map(|(_, t)| t).collect()
+        self.run_core(items, f, |i, _| {
+            format!("sweep item {i} of {n} panicked")
+        })
+        .0
     }
 
     /// Like [`Sweep::run`], but also reports host-time profiling: each
@@ -250,10 +261,49 @@ impl Sweep {
         F: Fn(usize, &I) -> T + Sync,
     {
         let n = items.len();
+        self.run_core(items, f, |i, _| {
+            format!("sweep item {i} of {n} panicked")
+        })
+    }
+
+    /// The shared engine behind [`Sweep::run`] and [`Sweep::run_profiled`]:
+    /// drains the queue, catches per-session panics, and re-raises the
+    /// lowest-indexed one with `describe(index, item)` prepended — the
+    /// `mee-spec` counterexample convention (one line, session identity,
+    /// replay recipe) applied to worker crashes.
+    fn run_core<I, T, F, D>(&self, items: &[I], f: F, describe: D) -> (Vec<T>, HostProfile)
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+        D: Fn(usize, &I) -> String + Sync,
+    {
+        let n = items.len();
         let workers = self.threads.min(n);
+
+        // One session call, panic-isolated. `AssertUnwindSafe` is sound
+        // here: a caught payload is only ever re-propagated (enriched),
+        // never used to continue with possibly-broken state the closure
+        // observed mid-panic.
+        let call = |i: usize| -> Result<T, String> {
+            std::panic::catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))
+                .map_err(|payload| panic_message(payload.as_ref()))
+        };
+        let raise = |i: usize, msg: String| -> ! {
+            panic!("{}: {msg}", describe(i, &items[i]))
+        };
+
         if workers <= 1 {
             let start = Instant::now();
-            let out: Vec<T> = items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                // Serial execution visits indices in order, so the first
+                // panic *is* the lowest-indexed one.
+                match call(i) {
+                    Ok(t) => out.push(t),
+                    Err(msg) => raise(i, msg),
+                }
+            }
             let mut host = HostProfile::new();
             host.record_n(SHARD_SPAN, n as u64, start.elapsed());
             return (out, host);
@@ -261,21 +311,31 @@ impl Sweep {
 
         let next = AtomicUsize::new(0);
         let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+        let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
         let profile: Mutex<HostProfile> = Mutex::new(HostProfile::new());
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let shard_start = Instant::now();
+                    // Collect locally and merge once at the end: the mutex
+                    // is touched once per worker, not once per session.
                     let mut local = Vec::new();
+                    let mut local_panics = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(i, &items[i])));
+                        match call(i) {
+                            Ok(t) => local.push((i, t)),
+                            Err(msg) => local_panics.push((i, msg)),
+                        }
                     }
-                    let drained = local.len() as u64;
+                    let drained = (local.len() + local_panics.len()) as u64;
                     collected.lock().unwrap().extend(local);
+                    if !local_panics.is_empty() {
+                        panics.lock().unwrap().extend(local_panics);
+                    }
                     // HostProfile::merge is commutative, so the merge order
                     // (which *is* scheduling-dependent) cannot change the
                     // final aggregate.
@@ -285,6 +345,11 @@ impl Sweep {
                 });
             }
         });
+
+        let mut caught = panics.into_inner().unwrap();
+        if let Some((i, msg)) = caught.drain(..).min_by_key(|&(i, _)| i) {
+            raise(i, msg);
+        }
 
         let mut indexed = collected.into_inner().unwrap();
         indexed.sort_unstable_by_key(|&(i, _)| i);
@@ -296,13 +361,18 @@ impl Sweep {
     /// Runs an `n`-session seed sweep rooted at `root`: session `i` calls
     /// `f` with [`SessionSpec`] `{ index: i, seed: stream_seed(root, i) }`.
     /// Results come back in session order.
+    ///
+    /// A panicking session propagates with its index, split seed, and a
+    /// one-line replay recipe attached (lowest index deterministically
+    /// when several panic — see [`Sweep::run`]).
     pub fn seed_sweep<T, F>(&self, root: u64, n: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(SessionSpec) -> T + Sync,
     {
         let specs = session_seeds(root, n);
-        self.run(&specs, |_, &spec| f(spec))
+        self.run_core(&specs, |_, &spec| f(spec), seed_sweep_context(root, n))
+            .0
     }
 
     /// The profiled form of [`Sweep::seed_sweep`]: same results, plus the
@@ -313,7 +383,7 @@ impl Sweep {
         F: Fn(SessionSpec) -> T + Sync,
     {
         let specs = session_seeds(root, n);
-        self.run_profiled(&specs, |_, &spec| f(spec))
+        self.run_core(&specs, |_, &spec| f(spec), seed_sweep_context(root, n))
     }
 
     /// Like [`Sweep::seed_sweep`] for fallible sessions: returns the first
@@ -481,6 +551,81 @@ mod tests {
             })
         });
         assert!(result.is_err(), "worker panic was swallowed");
+    }
+
+    /// Extracts the enriched payload string of a propagated sweep panic.
+    fn caught_message(result: Result<impl Sized, Box<dyn std::any::Any + Send>>) -> String {
+        let payload = result.err().expect("sweep must panic");
+        super::panic_message(payload.as_ref())
+    }
+
+    #[test]
+    fn propagated_panic_names_the_item_and_original_message() {
+        let msg = caught_message(std::panic::catch_unwind(|| {
+            Sweep::with_threads(4).run(&[0u64; 16], |i, _| {
+                assert!(i != 5, "session 5 exploded");
+                i
+            })
+        }));
+        assert!(msg.contains("item 5 of 16"), "no shard context in: {msg}");
+        assert!(msg.contains("session 5 exploded"), "original payload lost: {msg}");
+    }
+
+    #[test]
+    fn seed_sweep_panic_carries_seed_and_replay_recipe() {
+        for threads in [1, 4] {
+            let msg = caught_message(std::panic::catch_unwind(|| {
+                Sweep::with_threads(threads).seed_sweep(2019, 8, |s| {
+                    assert!(s.index != 3, "boom");
+                    s.index
+                })
+            }));
+            let seed = stream_seed(2019, 3);
+            assert!(msg.contains("session 3 of 8"), "no session index in: {msg}");
+            assert!(
+                msg.contains(&format!("0x{seed:016x}")),
+                "no split seed in: {msg}"
+            );
+            assert!(
+                msg.contains("replay:") && msg.contains("stream_seed(2019, 3)"),
+                "no replay recipe in: {msg}"
+            );
+            assert!(msg.contains("boom"), "original payload lost: {msg}");
+        }
+    }
+
+    #[test]
+    fn lowest_indexed_panic_wins_deterministically() {
+        // Sessions 2 and 6 both panic; the propagated payload must name
+        // session 2 for every thread count (completion order must not leak
+        // into the report).
+        for threads in [1, 2, 8] {
+            let msg = caught_message(std::panic::catch_unwind(|| {
+                Sweep::with_threads(threads).seed_sweep(7, 10, |s| {
+                    assert!(s.index != 2 && s.index != 6, "kaboom {}", s.index);
+                    s.index
+                })
+            }));
+            assert!(
+                msg.contains("session 2 of 10"),
+                "{threads} threads reported the wrong session: {msg}"
+            );
+            assert!(msg.contains("kaboom 2"), "wrong original payload: {msg}");
+        }
+    }
+
+    #[test]
+    fn non_string_panic_payload_is_reported_opaquely() {
+        let msg = caught_message(std::panic::catch_unwind(|| {
+            Sweep::with_threads(2).run(&[0u64; 4], |i, _| {
+                if i == 1 {
+                    std::panic::panic_any(17u32);
+                }
+                i
+            })
+        }));
+        assert!(msg.contains("item 1 of 4"), "no shard context in: {msg}");
+        assert!(msg.contains("non-string panic payload"), "payload kind lost: {msg}");
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! | [`engine`] | the MEE: tree walk over the MEE cache, hit-level timing |
 //! | [`machine`] | multi-core machine, enclave processes, actor scheduler |
 //! | [`faults`] | deterministic fault plans + the replayable injector |
+//! | [`campaign`] | crash-safe sharded campaigns: checkpoint/resume, quarantine, watchdog |
 //! | [`attack`] | the paper: reverse engineering, channels, experiments |
 //! | [`spec`] | executable invariant specs: exhaustive + property tiers, differential oracle |
 //!
@@ -51,6 +52,7 @@
 
 pub use mee_attack as attack;
 pub use mee_cache as cache;
+pub use mee_campaign as campaign;
 pub use mee_engine as engine;
 pub use mee_faults as faults;
 pub use mee_machine as machine;
