@@ -36,7 +36,7 @@ echo "== bench-sweep smoke"
 cargo run --release --offline -p mee-bench --bin bench-sweep -- 2019 1 --threads 2 >/dev/null
 for key in name root_seed sessions threads bits_per_session ber_mean ber_p95 \
            kbps_p50 kbps_p95 probe_p50_cycles probe_p95_cycles host_ns_p50 \
-           host_ns_p95; do
+           host_ns_p90 host_ns_p95 host_ns_p99; do
   grep -q "\"${key}\":" BENCH_sweep.json ||
     { echo "BENCH_sweep.json schema drift: missing key '${key}'" >&2; exit 1; }
 done
@@ -94,5 +94,17 @@ cargo run --release --offline -p mee-bench --bin bench-trace -- 2019 1 >/dev/nul
 for key in traceEvents displayTimeUnit meta meeMetrics hostProfile; do
   grep -q "\"${key}\":" BENCH_trace.json ||
     { echo "BENCH_trace.json schema drift: missing key '${key}'" >&2; exit 1; }
+done
+# Smoke-run the establishment microbench (4 samples at scale 1) and hold
+# BENCH_establish.json to its schema. The binary replays every sample with
+# the translation memo disabled and exits non-zero if any discovered
+# eviction set, final clock, or MEE statistic diverges, so this also gates
+# the memo's bit-identity contract on every CI run.
+echo "== bench-establish smoke"
+cargo run --release --offline -p mee-bench --bin bench-establish -- 2019 1 >/dev/null
+for key in name root_seed samples candidates reps host_ns_p50 host_ns_p90 \
+           host_ns_p99 memo_divergences; do
+  grep -q "\"${key}\":" BENCH_establish.json ||
+    { echo "BENCH_establish.json schema drift: missing key '${key}'" >&2; exit 1; }
 done
 echo "ci.sh: all checks passed"

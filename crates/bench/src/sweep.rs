@@ -116,7 +116,8 @@ impl SweepReport {
             "{{\"name\":{:?},\"root_seed\":{},\"sessions\":{},\"threads\":{},\
              \"bits_per_session\":{},\"ber_mean\":{:.4},\"ber_p95\":{:.4},\
              \"kbps_p50\":{:.1},\"kbps_p95\":{:.1},\"probe_p50_cycles\":{:.0},\
-             \"probe_p95_cycles\":{:.0},\"host_ns_p50\":{:.1},\"host_ns_p95\":{:.1}}}",
+             \"probe_p95_cycles\":{:.0},\"host_ns_p50\":{:.1},\"host_ns_p90\":{:.1},\
+             \"host_ns_p95\":{:.1},\"host_ns_p99\":{:.1}}}",
             self.name,
             self.root_seed,
             self.records.len(),
@@ -129,7 +130,9 @@ impl SweepReport {
             percentile(&probe_p50, 50.0),
             percentile(&probe_p95, 95.0),
             self.host_ns_percentile(50.0),
+            self.host_ns_percentile(90.0),
             self.host_ns_percentile(95.0),
+            self.host_ns_percentile(99.0),
         )
     }
 
@@ -200,7 +203,9 @@ mod tests {
             "\"probe_p50_cycles\"",
             "\"probe_p95_cycles\"",
             "\"host_ns_p50\"",
+            "\"host_ns_p90\"",
             "\"host_ns_p95\"",
+            "\"host_ns_p99\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -102,6 +102,11 @@ pub struct SetAssocCache {
     resident: usize,
     /// Scratch "allowed ways" mask reused across calls.
     allowed: Vec<bool>,
+    /// `sets - 1` when the set count is a power of two (the standard
+    /// geometry), so [`Self::set_of`] is an AND instead of a hardware
+    /// divide — it runs several times per simulated memory op. `None`
+    /// falls back to the modulo for exotic hand-built geometries.
+    set_mask: Option<u64>,
 }
 
 /// Tag encoding of "no line".
@@ -141,6 +146,10 @@ impl SetAssocCache {
         SetAssocCache {
             tags: vec![EMPTY; cfg.sets * cfg.ways],
             allowed: vec![true; cfg.ways],
+            set_mask: cfg
+                .sets
+                .is_power_of_two()
+                .then(|| cfg.sets as u64 - 1),
             cfg,
             policy,
             stats: CacheStats::new(),
@@ -154,8 +163,12 @@ impl SetAssocCache {
     }
 
     /// Returns the set index `line` maps to.
+    #[inline]
     pub fn set_of(&self, line: LineAddr) -> usize {
-        line.set_index(self.cfg.sets)
+        match self.set_mask {
+            Some(mask) => (line.raw() & mask) as usize,
+            None => line.set_index(self.cfg.sets),
+        }
     }
 
     /// Accesses `line`: on a miss the line is filled, possibly evicting a
@@ -169,7 +182,20 @@ impl SetAssocCache {
         let tag = encode(line);
         let ways = &self.tags[base..base + self.cfg.ways];
 
-        if let Some(way) = ways.iter().position(|&t| t == tag) {
+        // One pass finds the hit way and, failing that, the first empty
+        // way — the separate empty scan would re-walk the same tags.
+        let mut empty = None;
+        let mut hit = None;
+        for (w, &t) in ways.iter().enumerate() {
+            if t == tag {
+                hit = Some(w);
+                break;
+            }
+            if t == EMPTY && empty.is_none() {
+                empty = Some(w);
+            }
+        }
+        if let Some(way) = hit {
             self.policy.on_hit(set, way);
             self.stats.hits += 1;
             return AccessResult {
@@ -180,7 +206,6 @@ impl SetAssocCache {
         }
 
         self.stats.misses += 1;
-        let empty = ways.iter().position(|&t| t == EMPTY);
         let (way, evicted) = match empty {
             Some(w) => {
                 self.resident += 1;
@@ -188,11 +213,8 @@ impl SetAssocCache {
             }
             None => {
                 // No empty way means every way is occupied, so the victim
-                // mask is all-true — reuse the scratch buffer.
-                self.allowed.fill(true);
-                let allowed = std::mem::take(&mut self.allowed);
-                let w = self.policy.victim(set, &allowed);
-                self.allowed = allowed;
+                // mask is all-true — take the policy's mask-free path.
+                let w = self.policy.victim_all(set, self.cfg.ways);
                 self.stats.evictions += 1;
                 (w, Some(decode(self.tags[base + w])))
             }
@@ -276,6 +298,80 @@ impl SetAssocCache {
         }
     }
 
+    /// [`Self::access`] followed immediately by [`Self::invalidate`] of the
+    /// same line — the per-level step of an establishment read-then-`clflush`
+    /// sweep, fused so one set lookup and one way scan replace the two of
+    /// each. The observable outcome is identical to the split calls: both
+    /// policy transitions (`on_hit`/`on_fill`, then `on_invalidate`) fire,
+    /// every statistics counter advances the same way, and the filled way
+    /// ends empty — the fill's tag write is simply never materialized. The
+    /// seeded property test `fused_access_invalidate_matches_split` holds
+    /// the two paths together under random interleavings for every policy.
+    ///
+    /// Returns the access's [`AccessResult`]; the line is no longer
+    /// resident on return.
+    #[must_use = "an evicted victim must be back-invalidated by inclusive outer levels"]
+    pub fn access_then_invalidate(&mut self, line: LineAddr) -> AccessResult {
+        let set = self.set_of(line);
+        let base = set * self.cfg.ways;
+        let tag = encode(line);
+        let ways = &self.tags[base..base + self.cfg.ways];
+
+        // Same fused single-pass scan as [`Self::access`].
+        let mut empty = None;
+        let mut hit = None;
+        for (w, &t) in ways.iter().enumerate() {
+            if t == tag {
+                hit = Some(w);
+                break;
+            }
+            if t == EMPTY && empty.is_none() {
+                empty = Some(w);
+            }
+        }
+        if let Some(way) = hit {
+            // Hit, then invalidate finds the same way.
+            self.policy.on_hit(set, way);
+            self.stats.hits += 1;
+            self.tags[base + way] = EMPTY;
+            self.resident -= 1;
+            self.policy.on_invalidate(set, way);
+            self.stats.invalidations += 1;
+            return AccessResult {
+                hit: true,
+                evicted: None,
+                set,
+            };
+        }
+
+        self.stats.misses += 1;
+        let (way, evicted) = match empty {
+            // Fill into an empty way then invalidate it: the tag write and
+            // the resident `+1`/`-1` cancel exactly.
+            Some(w) => (w, None),
+            None => {
+                let w = self.policy.victim_all(set, self.cfg.ways);
+                self.stats.evictions += 1;
+                let victim = decode(self.tags[base + w]);
+                // The fill replaces the victim (resident unchanged) and the
+                // invalidate then empties the way (resident -1).
+                self.tags[base + w] = EMPTY;
+                self.resident -= 1;
+                (w, Some(victim))
+            }
+        };
+        // The tags cancel but the policy sees both transitions — their
+        // composition is policy-specific state, not a no-op.
+        self.policy.on_fill(set, way);
+        self.policy.on_invalidate(set, way);
+        self.stats.invalidations += 1;
+        AccessResult {
+            hit: false,
+            evicted,
+            set,
+        }
+    }
+
     /// Non-destructive residence check (no policy or stats update).
     pub fn contains(&self, line: LineAddr) -> bool {
         self.find_way(self.set_of(line), line).is_some()
@@ -328,6 +424,57 @@ impl SetAssocCache {
         }
         self.resident -= dropped;
         dropped
+    }
+
+    /// Invalidates a contiguous run of `count` lines starting at `first` —
+    /// the back-invalidation broadcast of a page-granular event (EPC
+    /// eviction, migration) coalesced into one pass over the flat tag
+    /// array instead of `count` separate calls. Per-line effects (policy
+    /// `on_invalidate` calls, statistics) are identical, in identical
+    /// ascending-line order, to calling [`Self::invalidate`] once per
+    /// line; only the host cost changes. Returns how many lines were
+    /// dropped.
+    #[must_use = "the dropped-line count distinguishes a no-op broadcast from real work"]
+    pub fn invalidate_range(&mut self, first: LineAddr, count: u64) -> usize {
+        if self.resident == 0 {
+            // Nothing cached (idle cores' private caches during a page
+            // broadcast): skip the whole pass.
+            return 0;
+        }
+        let sets = self.cfg.sets;
+        let ways = self.cfg.ways;
+        let first_set = self.set_of(first);
+        if (count as usize) <= sets && first_set + count as usize <= sets {
+            // The run maps to `count` consecutive distinct sets (always
+            // true for a page-aligned 64-line run once `sets >= 64`, i.e.
+            // every on-chip cache of the default machine): one linear
+            // pass over the contiguous tag window, at most one match per
+            // set, stopping early once the cache drains.
+            let mut dropped = 0;
+            for i in 0..count as usize {
+                let set = first_set + i;
+                let tag = encode(LineAddr::new(first.raw() + i as u64));
+                let base = set * ways;
+                if let Some(way) = self.tags[base..base + ways].iter().position(|&t| t == tag) {
+                    self.tags[base + way] = EMPTY;
+                    self.resident -= 1;
+                    self.policy.on_invalidate(set, way);
+                    self.stats.invalidations += 1;
+                    dropped += 1;
+                    if self.resident == 0 {
+                        break;
+                    }
+                }
+            }
+            dropped
+        } else {
+            // A run longer than the set count (or crossing the set-index
+            // wrap) can alias several lines into one set: fall back to
+            // per-line invalidation, which handles aliasing exactly.
+            (0..count)
+                .filter(|&i| self.invalidate(LineAddr::new(first.raw() + i)))
+                .count()
+        }
     }
 
     /// Number of resident lines.
@@ -622,6 +769,113 @@ mod tests {
             assert_eq!(s.accesses(), accesses.len() as u64);
             assert!(s.evictions <= s.misses);
         });
+    }
+
+    /// `invalidate_range` is observationally identical to a per-line
+    /// `invalidate` loop: same dropped count, same statistics, same
+    /// residents, and — via a random access suffix — same replacement
+    /// state. Exercises both the consecutive-set fast path (64+ sets) and
+    /// the aliasing fallback (2 sets).
+    #[test]
+    fn invalidate_range_matches_per_line_loop() {
+        check(
+            "invalidate_range_matches_per_line_loop",
+            &PropConfig::from_env(64),
+            |rng| {
+                let sets = pick(rng, &[2usize, 64, 128]);
+                let ways = pick(rng, &[2usize, 4, 8]);
+                let cfg = CacheConfig::from_capacity(sets * ways * 64, ways, 64).unwrap();
+                let mut bulk = SetAssocCache::new(cfg, TreePlru::new());
+                let mut serial = SetAssocCache::new(cfg, TreePlru::new());
+                let warmup = vec_of(rng, 0..300, |r| r.random_range(0u64..512));
+                for &a in &warmup {
+                    bulk.access(LineAddr::new(a));
+                    serial.access(LineAddr::new(a));
+                }
+                let first = LineAddr::new(rng.random_range(0u64..448));
+                let count = rng.random_range(1u64..=64);
+                let bulk_dropped = bulk.invalidate_range(first, count);
+                let serial_dropped = (0..count)
+                    .filter(|&i| serial.invalidate(LineAddr::new(first.raw() + i)))
+                    .count();
+                assert_eq!(bulk_dropped, serial_dropped);
+                assert_eq!(bulk.stats(), serial.stats());
+                assert_eq!(bulk.occupancy(), serial.occupancy());
+                let mut bulk_lines: Vec<_> = bulk.resident_lines().collect();
+                let mut serial_lines: Vec<_> = serial.resident_lines().collect();
+                bulk_lines.sort_unstable();
+                serial_lines.sort_unstable();
+                assert_eq!(bulk_lines, serial_lines);
+                // Replacement-policy state must match too: a suffix of
+                // fills has to pick identical victims on both sides.
+                let suffix = vec_of(rng, 1..200, |r| r.random_range(0u64..512));
+                for &a in &suffix {
+                    assert_eq!(bulk.access(LineAddr::new(a)), serial.access(LineAddr::new(a)));
+                }
+            },
+        );
+    }
+
+    /// The fused sweep step is observationally identical to split
+    /// `access` + `invalidate` calls under random op streams, for every
+    /// replacement policy: same results, statistics, residents, and — via
+    /// a random access suffix — same replacement state and RNG position.
+    #[test]
+    fn fused_access_invalidate_matches_split() {
+        use crate::policy::{Fifo, Nru, RandomEviction, Srrip};
+        check(
+            "fused_access_invalidate_matches_split",
+            &PropConfig::from_env(64),
+            |rng| {
+                let policy = rng.random_range(0u64..6);
+                let seed = rng.random_range(0u64..1000);
+                let mk = || -> Policy {
+                    match policy {
+                        0 => TreePlru::new().into(),
+                        1 => TrueLru::new().into(),
+                        2 => Fifo::new().into(),
+                        3 => Nru::new().into(),
+                        4 => Srrip::new().into(),
+                        _ => RandomEviction::with_seed(seed).into(),
+                    }
+                };
+                let ways = pick(rng, &[1usize, 2, 4, 8]);
+                let cfg = CacheConfig::from_capacity(4 * ways * 64, ways, 64).unwrap();
+                let mut fused = SetAssocCache::new(cfg, mk());
+                let mut split = SetAssocCache::new(cfg, mk());
+                // Random mix: plain accesses (warming residents in), fused
+                // steps, and invalidations, over a small line universe so
+                // hits, empty-way fills, and full-set victims all occur.
+                let ops = vec_of(rng, 1..300, |r| {
+                    (r.random_range(0u8..4), r.random_range(0u64..32))
+                });
+                for &(op, a) in &ops {
+                    let line = LineAddr::new(a);
+                    match op {
+                        0 | 1 => {
+                            assert_eq!(fused.access(line), split.access(line));
+                        }
+                        2 => {
+                            let f = fused.access_then_invalidate(line);
+                            let s = split.access(line);
+                            assert!(split.invalidate(line));
+                            assert_eq!(f, s);
+                            assert!(!fused.contains(line));
+                        }
+                        _ => {
+                            assert_eq!(fused.invalidate(line), split.invalidate(line));
+                        }
+                    }
+                    assert_eq!(fused.stats(), split.stats());
+                    assert_eq!(fused.occupancy(), split.occupancy());
+                }
+                let mut f: Vec<_> = fused.resident_lines().collect();
+                let mut s: Vec<_> = split.resident_lines().collect();
+                f.sort_unstable();
+                s.sort_unstable();
+                assert_eq!(f, s);
+            },
+        );
     }
 
     /// A line in a different set is never evicted by a fill.

@@ -32,6 +32,17 @@ pub trait ReplacementPolicy: std::fmt::Debug + Send {
     /// one entry is guaranteed true.
     fn victim(&mut self, set: usize, allowed: &[bool]) -> usize;
 
+    /// [`victim`](Self::victim) with every way allowed — the common case on
+    /// the hot path, split out so implementations can skip the `allowed`
+    /// scan (and callers the scratch mask) entirely.
+    ///
+    /// Must behave exactly like `victim(set, &vec![true; ways])`, including
+    /// any RNG draws; the default implementation does literally that.
+    fn victim_all(&mut self, set: usize, ways: usize) -> usize {
+        let allowed = vec![true; ways];
+        self.victim(set, &allowed)
+    }
+
     /// Records that `way` of `set` was invalidated.
     fn on_invalidate(&mut self, set: usize, way: usize);
 
@@ -79,6 +90,13 @@ impl ReplacementPolicy for TrueLru {
             .filter(|&w| allowed[w])
             .min_by_key(|&w| self.stamps[base + w])
             .expect("victim() requires at least one allowed way")
+    }
+
+    fn victim_all(&mut self, set: usize, _ways: usize) -> usize {
+        let base = set * self.ways;
+        (0..self.ways)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("cache sets have at least one way")
     }
 
     fn on_invalidate(&mut self, set: usize, way: usize) {
@@ -181,6 +199,25 @@ impl ReplacementPolicy for TreePlru {
         }
     }
 
+    fn victim_all(&mut self, set: usize, _ways: usize) -> usize {
+        // The bit walk's landing way is always allowed here.
+        let base = set * (self.ways - 1);
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = self.ways;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.bits[base + node] {
+                node = 2 * node + 2;
+                lo = mid;
+            } else {
+                node = 2 * node + 1;
+                hi = mid;
+            }
+        }
+        lo
+    }
+
     fn on_invalidate(&mut self, set: usize, way: usize) {
         // Inverse of `touch`: walk from the root *toward* the invalidated
         // way, so the next victim search lands on it. Leaving the bits
@@ -245,6 +282,13 @@ impl ReplacementPolicy for Fifo {
             .expect("victim() requires at least one allowed way")
     }
 
+    fn victim_all(&mut self, set: usize, _ways: usize) -> usize {
+        let base = set * self.ways;
+        (0..self.ways)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("cache sets have at least one way")
+    }
+
     fn on_invalidate(&mut self, set: usize, way: usize) {
         self.stamps[set * self.ways + way] = 0;
     }
@@ -296,6 +340,18 @@ impl ReplacementPolicy for Nru {
             .iter()
             .position(|&a| a)
             .expect("victim() requires at least one allowed way")
+    }
+
+    fn victim_all(&mut self, set: usize, _ways: usize) -> usize {
+        let base = set * self.ways;
+        if let Some(w) = (0..self.ways).find(|&w| !self.referenced[base + w]) {
+            return w;
+        }
+        // Everybody referenced: age the whole set and take the first way.
+        for w in 0..self.ways {
+            self.referenced[base + w] = false;
+        }
+        0
     }
 
     fn on_invalidate(&mut self, set: usize, way: usize) {
@@ -360,6 +416,20 @@ impl ReplacementPolicy for Srrip {
         }
     }
 
+    fn victim_all(&mut self, set: usize, _ways: usize) -> usize {
+        let base = set * self.ways;
+        loop {
+            if let Some(w) = (0..self.ways).find(|&w| self.rrpv[base + w] == RRPV_MAX) {
+                return w;
+            }
+            for w in 0..self.ways {
+                if self.rrpv[base + w] < RRPV_MAX {
+                    self.rrpv[base + w] += 1;
+                }
+            }
+        }
+    }
+
     fn on_invalidate(&mut self, set: usize, way: usize) {
         self.rrpv[set * self.ways + way] = RRPV_MAX;
     }
@@ -402,6 +472,12 @@ impl ReplacementPolicy for RandomEviction {
             "victim() requires at least one allowed way"
         );
         candidates[self.rng.random_range(0..candidates.len())]
+    }
+
+    fn victim_all(&mut self, _set: usize, _ways: usize) -> usize {
+        // Same single `random_range(0..ways)` draw as `victim` with an
+        // all-true mask, so the RNG stream is unchanged.
+        self.rng.random_range(0..self.ways)
     }
 
     fn on_invalidate(&mut self, _set: usize, _way: usize) {}
@@ -476,6 +552,11 @@ impl ReplacementPolicy for Policy {
     }
 
     #[inline]
+    fn victim_all(&mut self, set: usize, ways: usize) -> usize {
+        dispatch!(self, p => p.victim_all(set, ways))
+    }
+
+    #[inline]
     fn on_invalidate(&mut self, set: usize, way: usize) {
         dispatch!(self, p => p.on_invalidate(set, way));
     }
@@ -533,6 +614,65 @@ mod tests {
 
     fn all_allowed(ways: usize) -> Vec<bool> {
         vec![true; ways]
+    }
+
+    /// `victim_all` must be indistinguishable from `victim` with an
+    /// all-true mask — same way chosen, same internal state evolution,
+    /// same RNG draws — for every policy, under arbitrary histories.
+    /// Two identically-seeded twins run mirrored hit/fill/invalidate
+    /// histories; one answers through `victim`, the other through
+    /// `victim_all`, and the pair must never diverge.
+    #[test]
+    fn victim_all_matches_all_true_mask() {
+        const WAYS: usize = 8;
+        const SETS: usize = 4;
+        let twins: Vec<(Policy, Policy)> = vec![
+            (TreePlru::new().into(), TreePlru::new().into()),
+            (TrueLru::new().into(), TrueLru::new().into()),
+            (Fifo::new().into(), Fifo::new().into()),
+            (Nru::new().into(), Nru::new().into()),
+            (Srrip::new().into(), Srrip::new().into()),
+            (
+                RandomEviction::with_seed(0xdead).into(),
+                RandomEviction::with_seed(0xdead).into(),
+            ),
+        ];
+        for (mut a, mut b) in twins {
+            a.attach(SETS, WAYS);
+            b.attach(SETS, WAYS);
+            let mut rng = Rng::seed_from_u64(0x51c7);
+            for step in 0..2000 {
+                let set = rng.random_range(0..SETS);
+                let way = rng.random_range(0..WAYS);
+                match rng.random_range(0..4u8) {
+                    0 => {
+                        a.on_hit(set, way);
+                        b.on_hit(set, way);
+                    }
+                    1 => {
+                        a.on_fill(set, way);
+                        b.on_fill(set, way);
+                    }
+                    2 => {
+                        a.on_invalidate(set, way);
+                        b.on_invalidate(set, way);
+                    }
+                    _ => {
+                        let va = a.victim(set, &all_allowed(WAYS));
+                        let vb = b.victim_all(set, WAYS);
+                        assert_eq!(
+                            va,
+                            vb,
+                            "policy {} diverged at step {step} (set {set})",
+                            a.name()
+                        );
+                        // Keep the histories aligned after the eviction.
+                        a.on_fill(set, va);
+                        b.on_fill(set, vb);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -225,6 +225,9 @@ impl PrimeProbeSession {
         cfg: &ChannelConfig,
     ) -> Result<Self, ModelError> {
         cfg.validate()?;
+        // Host-time span over the baseline's establishment, recorded at the
+        // end; wall-clock only.
+        let host_start = std::time::Instant::now();
         let classifier = LatencyClassifier::from_timing(&setup.machine.config().timing);
 
         // Spy builds the eviction set this time.
@@ -253,15 +256,9 @@ impl PrimeProbeSession {
                 setup.sync_clocks();
                 {
                     let mut spy = setup.spy_handle();
-                    for &a in &eviction_set {
-                        spy.read(a)?;
-                        spy.clflush(a)?;
-                    }
+                    let _ = spy.sweep_read_flush(&eviction_set)?;
                     spy.mfence();
-                    for &a in eviction_set.iter().rev() {
-                        spy.read(a)?;
-                        spy.clflush(a)?;
-                    }
+                    let _ = spy.sweep_read_flush_rev(&eviction_set)?;
                     spy.mfence();
                 }
                 setup.sync_clocks();
@@ -289,16 +286,10 @@ impl PrimeProbeSession {
         let sweeps = 8u64;
         {
             let mut spy = setup.spy_handle();
-            for &a in &eviction_set {
-                spy.read(a)?;
-                spy.clflush(a)?;
-            }
+            let _ = spy.sweep_read_flush(&eviction_set)?;
             for _ in 0..sweeps {
                 let t1 = spy.timer_read();
-                for &a in &eviction_set {
-                    spy.read(a)?;
-                    spy.clflush(a)?;
-                }
+                let _ = spy.sweep_read_flush(&eviction_set)?;
                 let t2 = spy.timer_read();
                 quiet_total += t2.saturating_sub(t1).raw();
             }
@@ -307,6 +298,11 @@ impl PrimeProbeSession {
         let t = &setup.machine.config().timing;
         let signal = t.protected_hit_latency(1) - t.protected_hit_latency(0);
         let probe_threshold = Cycles::new(quiet_mean + signal.raw() / 2);
+        setup
+            .machine
+            .obs_mut()
+            .host
+            .record("establish", host_start.elapsed());
 
         Ok(PrimeProbeSession {
             eviction_set,

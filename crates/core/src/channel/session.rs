@@ -167,6 +167,10 @@ impl Session {
         cfg: &ChannelConfig,
     ) -> Result<Self, ModelError> {
         cfg.validate()?;
+        // Host-time span over the whole establishment phase (Algorithm 1 +
+        // monitor search) — wall-clock only, recorded at the end, so the
+        // simulated transcript is untouched.
+        let host_start = std::time::Instant::now();
         let classifier = LatencyClassifier::from_timing(&setup.machine.config().timing);
         let t0 = setup.machine.core_now(sender.core);
         setup
@@ -203,15 +207,9 @@ impl Session {
                 setup.sync_clocks();
                 {
                     let mut trojan = CoreHandleOwner::handle(setup, sender);
-                    for &a in &eviction_set {
-                        trojan.read(a)?;
-                        trojan.clflush(a)?;
-                    }
+                    let _ = trojan.sweep_read_flush(&eviction_set)?;
                     trojan.mfence();
-                    for &a in eviction_set.iter().rev() {
-                        trojan.read(a)?;
-                        trojan.clflush(a)?;
-                    }
+                    let _ = trojan.sweep_read_flush_rev(&eviction_set)?;
                     trojan.mfence();
                 }
                 // The receiver re-probes: a miss means conflict.
@@ -240,6 +238,11 @@ impl Session {
         })?;
         let t2 = setup.machine.core_now(receiver.core);
         setup.machine.trace_phase("monitor_found", monitor.raw(), t2);
+        setup
+            .machine
+            .obs_mut()
+            .host
+            .record("establish", host_start.elapsed());
 
         Ok(Session {
             eviction_set,
@@ -296,6 +299,9 @@ impl Session {
         hook: &mut dyn StepHook,
     ) -> Result<TransmitOutcome, ModelError> {
         let window = self.config.window;
+        // Host-time span over the wire transmission; like "establish",
+        // wall-clock only and recorded at the end.
+        let host_start = std::time::Instant::now();
         // Agree on a start boundary comfortably after both clocks.
         let now = setup
             .machine
@@ -336,6 +342,11 @@ impl Session {
             .machine
             .trace_phase("transmit_end", bits.len() as u64, t_end);
 
+        setup
+            .machine
+            .obs_mut()
+            .host
+            .record("transmit", host_start.elapsed());
         let received = spy.decoded_bits();
         let errors = BitErrors::compare(bits, &received);
         let elapsed = window * (bits.len() as u64 + 1);

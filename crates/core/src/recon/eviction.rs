@@ -44,10 +44,7 @@ pub fn eviction_test(
     cpu.read(victim)?;
     cpu.clflush(victim)?;
     cpu.mfence();
-    for &addr in set {
-        cpu.read(addr)?;
-        cpu.clflush(addr)?;
-    }
+    let _ = cpu.sweep_read_flush(set)?;
     cpu.mfence();
     // measure time to access victim; flush victim.
     let time = cpu.read(victim)?;
@@ -215,10 +212,7 @@ pub fn find_eviction_set(
 
 /// Accesses and flushes every address (lines 20–22 / 26–28 of Algorithm 1).
 fn warm(cpu: &mut CoreHandle<'_>, set: &[VirtAddr]) -> Result<(), ModelError> {
-    for &addr in set {
-        cpu.read(addr)?;
-        cpu.clflush(addr)?;
-    }
+    let _ = cpu.sweep_read_flush(set)?;
     cpu.mfence();
     Ok(())
 }

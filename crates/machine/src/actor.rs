@@ -123,6 +123,27 @@ impl<'m> CoreHandle<'m> {
         self.machine.clflush(self.core, self.proc, va)
     }
 
+    /// Read-then-flush sweep over `addrs`, in order — the establishment
+    /// batch primitive. Bit-identical to the per-op loop; see
+    /// [`Machine::sweep_read_flush`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn sweep_read_flush(&mut self, addrs: &[VirtAddr]) -> Result<Cycles, ModelError> {
+        self.machine.sweep_read_flush(self.core, self.proc, addrs, false)
+    }
+
+    /// [`Self::sweep_read_flush`] in reverse address order (the backward
+    /// pass of the paper's §5.3 two-phase sweep).
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn sweep_read_flush_rev(&mut self, addrs: &[VirtAddr]) -> Result<Cycles, ModelError> {
+        self.machine.sweep_read_flush(self.core, self.proc, addrs, true)
+    }
+
     /// Serializing fence.
     pub fn mfence(&mut self) -> Cycles {
         self.machine.mfence(self.core)

@@ -100,6 +100,30 @@ pub struct MachineConfig {
     pub timer_quantum: u64,
     /// Which scheduler core runs the actors.
     pub engine: EngineKind,
+    /// Capacity of the machine's translation memo (direct-mapped, shared
+    /// across processes, keyed on a page-table generation stamp). `0`
+    /// disables memoisation — every op re-walks the page table, the
+    /// pre-memo behaviour differential tests compare against. Purely a
+    /// host-speed knob: translation has no timing side effects, so the
+    /// capacity can never change a simulation (see `DESIGN.md`,
+    /// "Translation memo"). Overridable via `MEE_TLB`.
+    pub tlb_entries: usize,
+}
+
+/// Default translation-memo capacity: enough slots that the two
+/// 192-page tenants of an attack setup rarely alias.
+const DEFAULT_TLB_ENTRIES: usize = 512;
+
+/// Resolves the `MEE_TLB` override, falling back to the built-in default.
+///
+/// # Panics
+///
+/// Panics if `MEE_TLB` is set to a malformed or non-positive value — the
+/// workspace-wide strict-knob policy (to disable the memo, set
+/// [`MachineConfig::tlb_entries`] to `0` in code; an environment typo must
+/// never silently change the machine).
+fn env_tlb_entries() -> usize {
+    mee_rng::env_knob::positive_from_env::<usize>("MEE_TLB").unwrap_or(DEFAULT_TLB_ENTRIES)
 }
 
 impl Default for MachineConfig {
@@ -137,6 +161,7 @@ impl Default for MachineConfig {
             mee_key: 0x006d_6565_5f6b_6579, // "mee_key"
             timer_quantum: 35,
             engine: EngineKind::default(),
+            tlb_entries: env_tlb_entries(),
         }
     }
 }
@@ -272,6 +297,20 @@ mod tests {
         let cfg = MachineConfig::small().with_engine(EngineKind::CycleStepped);
         assert_eq!(cfg.engine, EngineKind::CycleStepped);
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn tlb_knob_follows_the_strict_grammar() {
+        // The default capacity is positive (memo on) and zero is reserved
+        // for in-code opt-out, never reachable from the environment.
+        assert!(MachineConfig::default().tlb_entries > 0);
+        for bad in ["0", "-8", "lots", "4.5", ""] {
+            assert!(
+                mee_rng::env_knob::parse_positive::<usize>("MEE_TLB", bad).is_err(),
+                "MEE_TLB={bad:?} must be rejected loudly"
+            );
+        }
+        assert_eq!(mee_rng::env_knob::parse_positive::<usize>("MEE_TLB", "128"), Ok(128));
     }
 
     #[test]

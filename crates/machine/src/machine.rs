@@ -66,6 +66,29 @@ struct Process {
     space: AddressSpace,
 }
 
+/// One translation-memo slot: a (process, virtual page) → physical page
+/// pairing, valid only while `stamp` matches the machine's current
+/// page-table generation (see [`Machine::translate_cached`]).
+#[derive(Clone, Copy)]
+struct TlbEntry {
+    /// Page-table generation this entry was filled under (`0` = never
+    /// filled; the machine's generation starts at 1).
+    stamp: u64,
+    proc: u32,
+    vpn: u64,
+    /// Physical base of the translated page.
+    page_base: u64,
+}
+
+impl TlbEntry {
+    const EMPTY: TlbEntry = TlbEntry {
+        stamp: 0,
+        proc: 0,
+        vpn: 0,
+        page_base: 0,
+    };
+}
+
 /// The simulated multi-core SGX machine.
 ///
 /// See the crate docs for the architectural overview. All methods that model
@@ -85,6 +108,15 @@ pub struct Machine {
     /// the integrity tree).
     general_store: FxHashMap<LineAddr, u64>,
     rng: Rng,
+    /// Page-table generation stamp: bumped by every mapping mutation and
+    /// EPC eviction, so every memo entry below goes stale at once. Starts
+    /// at 1 so a zeroed [`TlbEntry`] can never validate.
+    pt_generation: u64,
+    /// The translation memo: a direct-mapped cache of page translations
+    /// for the hot instruction paths (empty when `cfg.tlb_entries == 0`).
+    /// Translation has no timing side effects, so this is purely a
+    /// host-speed structure — it can never change a simulation.
+    tlb: Vec<TlbEntry>,
     /// Where the MEE walk of the most recent memory op stopped (`None` if
     /// the op never reached the MEE).
     last_mee_hit: Option<mee_engine::HitLevel>,
@@ -153,6 +185,8 @@ impl Machine {
         );
         Ok(Machine {
             rng: Rng::seed_from_u64(stream_seed(cfg.alloc_seed, 2)),
+            pt_generation: 1,
+            tlb: vec![TlbEntry::EMPTY; cfg.tlb_entries],
             cfg,
             layout,
             dram,
@@ -296,6 +330,9 @@ impl Machine {
     pub fn map_pages(&mut self, proc: ProcId, base: VirtAddr, count: usize) -> Result<(), ModelError> {
         self.check_proc(proc)?;
         self.check_alignment(base)?;
+        // Bump before mutating: a partial failure below still leaves the
+        // page tables changed, so the memo must already be stale.
+        self.pt_generation += 1;
         let enclave = self.is_enclave(proc);
         for i in 0..count {
             let ppn = if enclave {
@@ -325,6 +362,7 @@ impl Machine {
     ) -> Result<(), ModelError> {
         self.check_proc(proc)?;
         self.check_alignment(base)?;
+        self.pt_generation += 1;
         let enclave = self.is_enclave(proc);
         for i in 0..count {
             let va = base + (i * PAGE_SIZE) as u64;
@@ -362,6 +400,7 @@ impl Machine {
                 instruction: "hugepage mapping",
             });
         }
+        self.pt_generation += 1;
         let first = self.general_alloc.alloc_contiguous(count)?;
         for i in 0..count {
             let vpn = (base + (i * PAGE_SIZE) as u64).vpn();
@@ -382,6 +421,41 @@ impl Machine {
     pub fn translate(&self, proc: ProcId, va: VirtAddr) -> Result<PhysAddr, ModelError> {
         self.check_proc(proc)?;
         self.procs[proc.index()].space.translate(va)
+    }
+
+    /// [`Self::translate`] through the translation memo — the hot-path
+    /// variant used by every instruction that touches memory.
+    ///
+    /// The memo is a direct-mapped array of page translations, each
+    /// stamped with the page-table generation it was filled under. Every
+    /// mapping mutation ([`Self::map_pages`], [`Self::unmap_pages`],
+    /// [`Self::map_pages_contiguous`]) and every EPC eviction
+    /// ([`Self::epc_evict_page`]) bumps the generation, so a stale entry
+    /// can never validate: it either carries an older stamp (rejected) or
+    /// was filled after the mutation (already correct). Combined with
+    /// translation having no timing side effects, a memo hit is
+    /// observationally identical to a fresh page-table walk — see
+    /// `DESIGN.md`, "Translation memo".
+    fn translate_cached(&mut self, proc: ProcId, va: VirtAddr) -> Result<PhysAddr, ModelError> {
+        if self.tlb.is_empty() {
+            return self.translate(proc, va);
+        }
+        let vpn = va.vpn().raw();
+        let pid = proc.index() as u64;
+        let slot = ((vpn ^ pid.wrapping_mul(0x9e37_79b9_7f4a_7c15)) % self.tlb.len() as u64)
+            as usize;
+        let e = self.tlb[slot];
+        if e.stamp == self.pt_generation && e.vpn == vpn && u64::from(e.proc) == pid {
+            return Ok(PhysAddr::new(e.page_base + va.page_offset()));
+        }
+        let pa = self.translate(proc, va)?;
+        self.tlb[slot] = TlbEntry {
+            stamp: self.pt_generation,
+            proc: proc.index() as u32,
+            vpn,
+            page_base: pa.raw() - va.page_offset(),
+        };
+        Ok(pa)
     }
 
     /// Loads from `va`: walks L1 → L2 → LLC → DRAM (+ MEE for protected
@@ -441,7 +515,14 @@ impl Machine {
     /// Returns [`ModelError::PageFault`] for unmapped addresses.
     pub fn clflush(&mut self, core: CoreId, proc: ProcId, va: VirtAddr) -> Result<Cycles, ModelError> {
         self.check_core(core)?;
-        let pa = self.translate(proc, va)?;
+        let pa = self.translate_cached(proc, va)?;
+        Ok(self.clflush_at(core, proc, pa))
+    }
+
+    /// The post-translation body of [`Self::clflush`], shared with the
+    /// batched sweep path (which translates each address once for its
+    /// read *and* its flush).
+    fn clflush_at(&mut self, core: CoreId, proc: ProcId, pa: PhysAddr) -> Cycles {
         let line = pa.line();
         let issued = self.cores[core.index()].now;
         for c in &mut self.cores {
@@ -475,7 +556,208 @@ impl Machine {
                 );
             }
         }
-        Ok(elapsed)
+        elapsed
+    }
+
+    /// Runs one establishment sweep: for each address in `addrs` (in
+    /// reverse order when `rev`), a load followed by a `clflush` of the
+    /// same line — the prime/warm primitive of Algorithm 1 and the
+    /// trojan's eviction sweeps. Per-op semantics (latencies, stall
+    /// draws, cache and MEE effects, trace events) are exactly those of
+    /// the equivalent [`Self::read`] + [`Self::clflush`] sequence — the
+    /// differential tier holds the two paths bit-identical. The batch
+    /// exists to pay host overheads once per address instead of twice
+    /// (core validation, page translation) and to keep the whole loop in
+    /// one call frame.
+    ///
+    /// Returns the total elapsed cycles across the batch.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::read`]; ops before the failing address
+    /// remain applied.
+    pub fn sweep_read_flush(
+        &mut self,
+        core: CoreId,
+        proc: ProcId,
+        addrs: &[VirtAddr],
+        rev: bool,
+    ) -> Result<Cycles, ModelError> {
+        self.check_core(core)?;
+        let mut total = Cycles::ZERO;
+        let step = |m: &mut Self, va: VirtAddr| -> Result<Cycles, ModelError> {
+            let pa = m.translate_cached(proc, va)?;
+            m.sweep_pair_at(core, proc, pa)
+        };
+        if rev {
+            for &va in addrs.iter().rev() {
+                total += step(self, va)?;
+            }
+        } else {
+            for &va in addrs {
+                total += step(self, va)?;
+            }
+        }
+        Ok(total)
+    }
+
+    /// One read-then-`clflush` pair of an establishment sweep, fused: this
+    /// core's L1/L2 and the LLC use
+    /// [`SetAssocCache::access_then_invalidate`], so each level pays one
+    /// set lookup and one way scan for the load *and* the flush. Every
+    /// observable effect — cache and policy state, statistics, the two
+    /// latencies and stall draws, DRAM and MEE behaviour, trace events —
+    /// is exactly that of [`Self::mem_op_at`] followed by
+    /// [`Self::clflush_at`]; the differential tier holds the two paths
+    /// bit-identical. (Within the pair, the flush's removal of `line`
+    /// from a level commutes with everything between the split calls:
+    /// caches never read the clock, the levels' tag arrays are disjoint,
+    /// and an LLC victim's back-invalidation targets `victim`, never
+    /// `line`.)
+    ///
+    /// On an error from the MEE walk, the failing pair's cache effects —
+    /// including its flush half — may already be applied; per-op
+    /// semantics only differ on that abnormal path (where the split
+    /// `clflush` would never have run).
+    fn sweep_pair_at(
+        &mut self,
+        core: CoreId,
+        proc: ProcId,
+        pa: PhysAddr,
+    ) -> Result<Cycles, ModelError> {
+        let kind = self.layout.classify(pa)?;
+        if kind == RegionKind::IntegrityTree {
+            return Err(ModelError::BadPhysAddr { pa });
+        }
+        let line = pa.line();
+        let issued = self.cores[core.index()].now;
+        let t = &self.cfg.timing;
+        let mut lat = t.l1_hit;
+        let clflush_lat = t.clflush;
+        let mut served = ServedAt::L1;
+        self.last_mee_hit = None;
+
+        // Read side, with each probed level's flush fused in. A hit
+        // short-circuits the descent exactly like [`Self::mem_op_at`];
+        // levels the read never probed are flushed plainly below.
+        let mut l2_probed = false;
+        let mut llc_probed = false;
+        let l1_hit = self.cores[core.index()].l1.access_then_invalidate(line).hit;
+        if !l1_hit {
+            lat += t.l2_hit;
+            served = ServedAt::L2;
+            l2_probed = true;
+            let l2_hit = self.cores[core.index()].l2.access_then_invalidate(line).hit;
+            if !l2_hit {
+                lat += t.llc_hit;
+                served = ServedAt::Llc;
+                llc_probed = true;
+                let llc_res = self.llc.access_then_invalidate(line);
+                if let Some(victim) = llc_res.evicted {
+                    // Inclusive LLC: back-invalidate every private cache.
+                    for c in &mut self.cores {
+                        c.l1.invalidate(victim);
+                        c.l2.invalidate(victim);
+                    }
+                    if self.obs.sink.enabled() {
+                        self.obs
+                            .sink
+                            .record(issued, EventKind::LlcEvict { line: victim.raw() });
+                    }
+                }
+                if !llc_res.hit {
+                    served = ServedAt::Dram;
+                    lat += self.dram.access(line);
+                    if kind == RegionKind::ProtectedData {
+                        let arrival = self.cores[core.index()].now + lat;
+                        let Machine { mee, dram, obs, .. } = self;
+                        let r = mee.read_traced(line, arrival, dram, &mut obs.sink)?;
+                        lat += r.access.latency;
+                        self.last_mee_hit = Some(r.access.hit_level);
+                        if self.obs.metrics.is_some() {
+                            if let Some(set) = self.mee.versions_set(line) {
+                                if let Some(m) = self.obs.metrics.as_mut() {
+                                    m.record_mee_set_walk(set);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let elapsed = self.advance_with_stalls(core, lat);
+        if self.obs.is_enabled() {
+            let mee_level = self
+                .last_mee_hit
+                .map(|h| WalkLevel::from_ladder_index(h.ladder_index()));
+            self.obs.sink.record(
+                issued,
+                EventKind::MemOp {
+                    core: core.index() as u32,
+                    proc: proc.index() as u32,
+                    op: MemOpKind::Read,
+                    line: line.raw(),
+                    served: Some(served),
+                    mee_level,
+                    latency: elapsed.raw(),
+                },
+            );
+            if let Some(m) = self.obs.metrics.as_mut() {
+                m.record_mem_op(
+                    core.index(),
+                    proc.index(),
+                    MemOpKind::Read,
+                    Some(served),
+                    mee_level,
+                    elapsed.raw(),
+                );
+            }
+        }
+
+        // Flush side: the probed levels of this core are already clean;
+        // the broadcast to the other cores (and any level a hit
+        // short-circuited past) still runs.
+        let flush_issued = self.cores[core.index()].now;
+        let this = core.index();
+        for (i, c) in self.cores.iter_mut().enumerate() {
+            if i != this {
+                c.l1.invalidate(line);
+                c.l2.invalidate(line);
+            }
+        }
+        if !l2_probed {
+            self.cores[this].l2.invalidate(line);
+        }
+        if !llc_probed {
+            self.llc.invalidate(line);
+        }
+        let flush_elapsed = self.advance_with_stalls(core, clflush_lat);
+        if self.obs.is_enabled() {
+            self.obs.sink.record(
+                flush_issued,
+                EventKind::MemOp {
+                    core: core.index() as u32,
+                    proc: proc.index() as u32,
+                    op: MemOpKind::Clflush,
+                    line: line.raw(),
+                    served: None,
+                    mee_level: None,
+                    latency: flush_elapsed.raw(),
+                },
+            );
+            if let Some(m) = self.obs.metrics.as_mut() {
+                m.record_mem_op(
+                    core.index(),
+                    proc.index(),
+                    MemOpKind::Clflush,
+                    None,
+                    None,
+                    flush_elapsed.raw(),
+                );
+            }
+        }
+        Ok(elapsed + flush_elapsed)
     }
 
     /// A serializing fence (ordering is implicit in the sequential model;
@@ -686,15 +968,23 @@ impl Machine {
     ) -> Result<usize, ModelError> {
         self.check_alignment(page)?;
         let pa = self.translate(proc, page)?;
+        // The counters are rewritten even though the frame stays the same;
+        // stamp conservatively so no memo entry outlives the eviction.
+        self.pt_generation += 1;
+        let first = pa.line();
+        let count = (PAGE_SIZE / mee_types::LINE_SIZE) as u64;
+        // Back-invalidate the page from every on-chip cache in one pass
+        // per tag array instead of per-line broadcast calls. Caches are
+        // independent, so regrouping the per-line × per-cache loop into
+        // per-cache page runs preserves each cache's invalidation order.
+        for c in &mut self.cores {
+            let _ = c.l1.invalidate_range(first, count);
+            let _ = c.l2.invalidate_range(first, count);
+        }
+        let _ = self.llc.invalidate_range(first, count);
         let mut mee_dropped = 0;
-        for i in 0..(PAGE_SIZE / mee_types::LINE_SIZE) as u64 {
-            let line = LineAddr::new(pa.line().raw() + i);
-            for c in &mut self.cores {
-                c.l1.invalidate(line);
-                c.l2.invalidate(line);
-            }
-            self.llc.invalidate(line);
-            mee_dropped += self.mee.evict_walk_footprint(line);
+        for i in 0..count {
+            mee_dropped += self.mee.evict_walk_footprint(LineAddr::new(first.raw() + i));
         }
         Ok(mee_dropped)
     }
@@ -763,7 +1053,19 @@ impl Machine {
         store: Option<u64>,
     ) -> Result<(Cycles, LineAddr, RegionKind), ModelError> {
         self.check_core(core)?;
-        let pa = self.translate(proc, va)?;
+        let pa = self.translate_cached(proc, va)?;
+        self.mem_op_at(core, proc, pa, store)
+    }
+
+    /// The post-translation body of a memory op, shared with the batched
+    /// sweep path.
+    fn mem_op_at(
+        &mut self,
+        core: CoreId,
+        proc: ProcId,
+        pa: PhysAddr,
+        store: Option<u64>,
+    ) -> Result<(Cycles, LineAddr, RegionKind), ModelError> {
         let kind = self.layout.classify(pa)?;
         if kind == RegionKind::IntegrityTree {
             // Software can never map tree frames; defense in depth.
@@ -1197,5 +1499,90 @@ mod tests {
         assert!(m
             .epc_evict_page(p, VirtAddr::new(0xdead_d000))
             .is_err());
+    }
+
+    /// The translation memo can never serve a stale entry: under random
+    /// interleavings of mapping mutations (map/unmap/EPC-evict) with
+    /// memory ops, a machine with a tiny aliasing-prone memo stays
+    /// bit-identical — op results, latencies, page-fault errors, and every
+    /// live translation — to one that walks the page tables on every op.
+    #[test]
+    fn translation_memo_matches_unmemoised_machine_under_mutations() {
+        use mee_rng::prop::{check, pick, PropConfig};
+        check(
+            "translation_memo_matches_unmemoised_machine_under_mutations",
+            &PropConfig::from_env(32),
+            |rng| {
+                let mk = |tlb_entries: usize| {
+                    let mut cfg = MachineConfig::small();
+                    // 4 slots over a 16-page pool forces constant slot
+                    // aliasing — the hardest regime for stale entries.
+                    cfg.tlb_entries = tlb_entries;
+                    Machine::new(cfg).unwrap()
+                };
+                let mut memo = mk(4);
+                let mut plain = mk(0);
+                let pm = memo.create_process(AddressSpaceKind::Enclave);
+                let pp = plain.create_process(AddressSpaceKind::Enclave);
+                let base = 0x100_0000u64;
+                const SLOTS: usize = 16;
+                let mut mapped = [false; SLOTS];
+                let page = |s: usize| VirtAddr::new(base + (s * PAGE_SIZE) as u64);
+                let show = |r: Result<Cycles, ModelError>| r.map_err(|e| e.to_string());
+                for _ in 0..rng.random_range(30usize..120) {
+                    let s = rng.random_range(0usize..SLOTS);
+                    let va = page(s) + 64 * rng.random_range(0u64..64);
+                    match pick(rng, &[0u8, 1, 2, 3, 4, 5]) {
+                        0 if !mapped[s] => {
+                            memo.map_pages(pm, page(s), 1).unwrap();
+                            plain.map_pages(pp, page(s), 1).unwrap();
+                            mapped[s] = true;
+                        }
+                        1 if mapped[s] => {
+                            memo.unmap_pages(pm, page(s), 1).unwrap();
+                            plain.unmap_pages(pp, page(s), 1).unwrap();
+                            mapped[s] = false;
+                        }
+                        2 => {
+                            let a = memo.epc_evict_page(pm, page(s));
+                            let b = plain.epc_evict_page(pp, page(s));
+                            assert_eq!(
+                                a.map_err(|e| e.to_string()),
+                                b.map_err(|e| e.to_string())
+                            );
+                        }
+                        3 => {
+                            let digest = rng.random();
+                            assert_eq!(
+                                show(memo.write(CORE0, pm, va, digest)),
+                                show(plain.write(CORE0, pp, va, digest))
+                            );
+                        }
+                        4 => assert_eq!(
+                            show(memo.clflush(CORE0, pm, va)),
+                            show(plain.clflush(CORE0, pp, va))
+                        ),
+                        _ => assert_eq!(
+                            show(memo.read(CORE0, pm, va)),
+                            show(plain.read(CORE0, pp, va))
+                        ),
+                    }
+                    // Every live translation agrees after every step —
+                    // a stale memo entry would surface here even if the
+                    // faulting op's latency happened to match.
+                    for (slot, &is_mapped) in mapped.iter().enumerate() {
+                        let a = memo.translate(pm, page(slot));
+                        let b = plain.translate(pp, page(slot));
+                        assert_eq!(a.is_ok(), is_mapped, "slot {slot} mapping lost");
+                        assert_eq!(
+                            a.map_err(|e| e.to_string()),
+                            b.map_err(|e| e.to_string()),
+                            "translation diverged for slot {slot}"
+                        );
+                    }
+                }
+                assert_eq!(memo.core_now(CORE0), plain.core_now(CORE0));
+            },
+        );
     }
 }

@@ -71,6 +71,10 @@ pub struct DramModel {
     jitter: GaussianJitter,
     accesses: u64,
     row_hits: u64,
+    /// `log2(row_lines)` — the geometry is validated power-of-two, so the
+    /// per-access row/bank mapping is a shift and a mask, not two divides.
+    row_shift: u32,
+    bank_mask: u64,
 }
 
 impl DramModel {
@@ -84,6 +88,8 @@ impl DramModel {
         Ok(DramModel {
             jitter: GaussianJitter::new(cfg.jitter_std, cfg.seed),
             open_rows: vec![None; cfg.banks],
+            row_shift: cfg.row_lines.trailing_zeros(),
+            bank_mask: cfg.banks as u64 - 1,
             cfg,
             accesses: 0,
             row_hits: 0,
@@ -98,8 +104,8 @@ impl DramModel {
     /// Performs one line fetch and returns its latency.
     pub fn access(&mut self, line: LineAddr) -> Cycles {
         self.accesses += 1;
-        let row = line.raw() / self.cfg.row_lines as u64;
-        let bank = (row % self.cfg.banks as u64) as usize;
+        let row = line.raw() >> self.row_shift;
+        let bank = (row & self.bank_mask) as usize;
         let base = if self.open_rows[bank] == Some(row) {
             self.row_hits += 1;
             self.cfg.row_hit

@@ -45,6 +45,19 @@ pub enum OpKind {
     Mfence,
     /// Pure computation for the given cycle count.
     Advance(u64),
+    /// Establishment sweep: read-then-`clflush` over `pages` 4 KiB-strided
+    /// addresses starting at the base (reverse order when `rev`), issued
+    /// through the batched `sweep_read_flush` path. One record carries the
+    /// batch's total latency, so a trace mixing sweeps with per-op loops
+    /// pins the batch APIs into the differential tier.
+    Sweep {
+        /// First (lowest) address of the 4 KiB-strided run.
+        base: VirtAddr,
+        /// Number of strided addresses.
+        pages: u16,
+        /// Sweep in descending address order (the backward pass).
+        rev: bool,
+    },
 }
 
 impl OracleOp {
@@ -82,6 +95,52 @@ impl OracleOp {
             proc: 0,
             kind: OpKind::Advance(cycles),
         }
+    }
+
+    /// Shorthand for a forward establishment sweep.
+    pub fn sweep(core: usize, proc: usize, base: u64, pages: u16) -> Self {
+        OracleOp {
+            core,
+            proc,
+            kind: OpKind::Sweep {
+                base: VirtAddr::new(base),
+                pages,
+                rev: false,
+            },
+        }
+    }
+
+    /// Shorthand for a backward establishment sweep.
+    pub fn sweep_rev(core: usize, proc: usize, base: u64, pages: u16) -> Self {
+        OracleOp {
+            core,
+            proc,
+            kind: OpKind::Sweep {
+                base: VirtAddr::new(base),
+                pages,
+                rev: true,
+            },
+        }
+    }
+
+    /// The per-op expansion of a [`OpKind::Sweep`]: the equivalent
+    /// read + `clflush` loop, for holding the batched path and the split
+    /// path observationally identical on the same machine.
+    pub fn expand_sweep(&self) -> Vec<OracleOp> {
+        let OpKind::Sweep { base, pages, rev } = self.kind else {
+            return vec![*self];
+        };
+        let mut ops = Vec::with_capacity(2 * pages as usize);
+        let mut order: Vec<u64> = (0..u64::from(pages)).collect();
+        if rev {
+            order.reverse();
+        }
+        for i in order {
+            let va = base.raw() + i * 4096;
+            ops.push(OracleOp::read(self.core, self.proc, va));
+            ops.push(OracleOp::clflush(self.core, self.proc, va));
+        }
+        ops
     }
 }
 
@@ -133,6 +192,18 @@ pub fn exec_op(m: &mut Machine, procs: &[ProcId], op: &OracleOp) -> OpRecord {
         },
         OpKind::Mfence => rec.latency = m.mfence(core).raw(),
         OpKind::Advance(cycles) => rec.latency = m.advance(core, Cycles::new(cycles)).raw(),
+        OpKind::Sweep { base, pages, rev } => {
+            let addrs: Vec<VirtAddr> = (0..u64::from(pages))
+                .map(|i| VirtAddr::new(base.raw() + i * 4096))
+                .collect();
+            match m.sweep_read_flush(core, proc, &addrs, rev) {
+                Ok(total) => {
+                    rec.latency = total.raw();
+                    rec.mee_hit = m.last_mee_hit().map(|h| h.ladder_index());
+                }
+                Err(e) => rec.error = Some(e.to_string()),
+            }
+        }
     }
     rec
 }

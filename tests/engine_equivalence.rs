@@ -142,6 +142,135 @@ fn fig6_shaped_covert_exchange_diff_empty_and_decodes_identically() {
     );
 }
 
+/// The oracle machine with more mapped pages — room for an
+/// establishment-shaped candidate ladder (4 pages per enclave).
+fn ladder_machine(engine: EngineKind) -> Result<(Machine, Vec<ProcId>), ModelError> {
+    let mut m = Machine::new(tiny_config(PolicyKind::TreePlru).with_engine(engine))?;
+    let spy = m.create_process(AddressSpaceKind::Enclave);
+    m.map_pages(spy, VirtAddr::new(SPY_BASE), 4)?;
+    let trojan = m.create_process(AddressSpaceKind::Enclave);
+    m.map_pages(trojan, VirtAddr::new(TROJAN_BASE), 4)?;
+    Ok((m, vec![spy, trojan]))
+}
+
+/// [`ladder_machine`] with the translation memo disabled — the machine the
+/// memoised one must be indistinguishable from.
+fn ladder_machine_no_memo(engine: EngineKind) -> Result<(Machine, Vec<ProcId>), ModelError> {
+    let mut cfg = tiny_config(PolicyKind::TreePlru).with_engine(engine);
+    cfg.tlb_entries = 0;
+    let mut m = Machine::new(cfg)?;
+    let spy = m.create_process(AddressSpaceKind::Enclave);
+    m.map_pages(spy, VirtAddr::new(SPY_BASE), 4)?;
+    let trojan = m.create_process(AddressSpaceKind::Enclave);
+    m.map_pages(trojan, VirtAddr::new(TROJAN_BASE), 4)?;
+    Ok((m, vec![spy, trojan]))
+}
+
+/// The establishment shape of Algorithm 1's eviction-test ladder: the
+/// trojan victim-primes an address, sweeps a growing candidate set through
+/// the batched forward and backward passes, then re-times the victim —
+/// while the spy intersperses probes of its own monitor line. Exercises
+/// exactly the op mix the establishment phase issues (batched sweeps,
+/// victim read/flush pairs, fences).
+fn establishment_ladder_trace() -> Vec<mee_covert::spec::oracle::OracleOp> {
+    let mfence = |core: usize, proc: usize| OracleOp {
+        core,
+        proc,
+        kind: OpKind::Mfence,
+    };
+    let mut trace = Vec::new();
+    for set_size in 1..=4u16 {
+        let victim = TROJAN_BASE + 4096 * 3 + 512;
+        // access victim; flush victim.
+        trace.push(OracleOp::read(1, 1, victim));
+        trace.push(OracleOp::clflush(1, 1, victim));
+        trace.push(mfence(1, 1));
+        // Two-phase sweep over the candidate set (§5.3 shape).
+        trace.push(OracleOp::sweep(1, 1, TROJAN_BASE, set_size));
+        trace.push(mfence(1, 1));
+        trace.push(OracleOp::sweep_rev(1, 1, TROJAN_BASE, set_size));
+        trace.push(mfence(1, 1));
+        // Re-time the victim; flush it for the next round.
+        trace.push(OracleOp::read(1, 1, victim));
+        trace.push(OracleOp::clflush(1, 1, victim));
+        // Spy activity riding along on the other core.
+        trace.push(OracleOp::read(0, 0, SPY_BASE + 512 * u64::from(set_size)));
+        trace.push(OracleOp::clflush(0, 0, SPY_BASE + 512 * u64::from(set_size)));
+    }
+    trace
+}
+
+#[test]
+fn establishment_ladder_diff_empty_across_engines() {
+    let oracle: DifferentialOracle<MachineBuilder, MachineBuilder> = DifferentialOracle::new(
+        (|| ladder_machine(EngineKind::CycleStepped)) as MachineBuilder,
+        (|| ladder_machine(EngineKind::EventDriven)) as MachineBuilder,
+    );
+    let diff = oracle
+        .run(&establishment_ladder_trace())
+        .expect("both engines build");
+    assert!(diff.is_empty(), "establishment ladder diverged:\n{diff}");
+}
+
+#[test]
+fn translation_memo_diff_empty_on_establishment_ladder() {
+    // Same engine, memo on vs off: translation is timing-free, so the
+    // transcripts must be empty-diff — the tentpole's core claim.
+    for engine in [EngineKind::CycleStepped, EngineKind::EventDriven] {
+        let oracle: DifferentialOracle<_, _> = DifferentialOracle::new(
+            move || ladder_machine(engine),
+            move || ladder_machine_no_memo(engine),
+        );
+        let diff = oracle
+            .run(&establishment_ladder_trace())
+            .expect("both machines build");
+        assert!(diff.is_empty(), "memo on/off diverged ({engine:?}):\n{diff}");
+        let trace = {
+            let mut rng = Rng::seed_from_u64(testbed::SEED ^ 0x7b0);
+            random_trace(&mut rng)
+        };
+        let diff = oracle.run(&trace).expect("both machines build");
+        assert!(diff.is_empty(), "memo on/off diverged on random trace:\n{diff}");
+    }
+}
+
+#[test]
+fn batched_sweep_matches_expanded_loop() {
+    // The batched sweep vs its per-op expansion, on identically built
+    // machines: end state (stats, MEE residency, core clocks) and total
+    // charged latency must agree exactly. Per-record diffing does not
+    // apply — one sweep record carries a whole loop's latency — so the
+    // comparison is on everything that survives the trace.
+    use mee_covert::spec::oracle::run_trace;
+    let sweep_trace = establishment_ladder_trace();
+    let split_trace: Vec<OracleOp> = sweep_trace.iter().flat_map(|op| op.expand_sweep()).collect();
+    for engine in [EngineKind::CycleStepped, EngineKind::EventDriven] {
+        let (mut ma, procs_a) = ladder_machine(engine).expect("build");
+        let (mut mb, procs_b) = ladder_machine(engine).expect("build");
+        let ta = run_trace(&mut ma, &procs_a, &sweep_trace);
+        let tb = run_trace(&mut mb, &procs_b, &split_trace);
+        let total = |t: &mee_covert::spec::oracle::Transcript| -> u64 {
+            t.records.iter().map(|r| r.latency).sum()
+        };
+        assert_eq!(total(&ta), total(&tb), "total latency diverged ({engine:?})");
+        assert_eq!(ta.mee_stats, tb.mee_stats, "MEE stats diverged ({engine:?})");
+        assert_eq!(ta.llc_stats, tb.llc_stats, "LLC stats diverged ({engine:?})");
+        assert_eq!(ta.mee_resident, tb.mee_resident, "MEE residency diverged");
+        for c in 0..ma.core_count() {
+            let id = mee_covert::machine::CoreId::new(c);
+            assert_eq!(
+                ma.core_now(id),
+                mb.core_now(id),
+                "core {c} clock diverged ({engine:?})"
+            );
+        }
+        assert!(
+            ta.records.iter().all(|r| r.error.is_none()),
+            "sweep trace errored"
+        );
+    }
+}
+
 /// Everything observable about a full scheduler-driven session.
 #[derive(Debug, Clone, PartialEq)]
 struct SessionFingerprint {
