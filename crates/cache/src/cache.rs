@@ -308,6 +308,15 @@ impl SetAssocCache {
     /// seeded property test `fused_access_invalidate_matches_split` holds
     /// the two paths together under random interleavings for every policy.
     ///
+    /// **The equivalence is local to this cache, with the two halves
+    /// adjacent.** Composing the fusion across a multi-level hierarchy
+    /// moves this cache's `on_invalidate` ahead of whatever the split
+    /// sequence interleaves between the halves — e.g. an inclusive outer
+    /// level's victim back-invalidation into the same set — and per-set
+    /// replacement-policy updates do not commute in general. That is why
+    /// `mee-machine`'s sweep pair issues the split calls in split order
+    /// rather than fusing per level.
+    ///
     /// Returns the access's [`AccessResult`]; the line is no longer
     /// resident on return.
     #[must_use = "an evicted victim must be back-invalidated by inclusive outer levels"]

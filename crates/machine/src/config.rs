@@ -115,18 +115,31 @@ pub struct MachineConfig {
 const DEFAULT_TLB_ENTRIES: usize = 512;
 
 /// Resolves the `MEE_TLB` override, falling back to the built-in default.
+/// Resolved once per process, on first use: every later
+/// [`MachineConfig::default`] reuses the pinned value, so two defaults in
+/// one process can never disagree and the environment is parsed (and can
+/// panic) at most once.
 ///
 /// # Panics
 ///
-/// Panics if `MEE_TLB` is set to a malformed or non-positive value — the
-/// workspace-wide strict-knob policy (to disable the memo, set
-/// [`MachineConfig::tlb_entries`] to `0` in code; an environment typo must
-/// never silently change the machine).
+/// Panics (on the first call only) if `MEE_TLB` is set to a malformed or
+/// non-positive value — the workspace-wide strict-knob policy (to disable
+/// the memo, set [`MachineConfig::tlb_entries`] to `0` in code; an
+/// environment typo must never silently change the machine).
 fn env_tlb_entries() -> usize {
-    mee_rng::env_knob::positive_from_env::<usize>("MEE_TLB").unwrap_or(DEFAULT_TLB_ENTRIES)
+    static RESOLVED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *RESOLVED.get_or_init(|| {
+        mee_rng::env_knob::positive_from_env::<usize>("MEE_TLB").unwrap_or(DEFAULT_TLB_ENTRIES)
+    })
 }
 
 impl Default for MachineConfig {
+    /// # Panics
+    ///
+    /// Panics if the `MEE_TLB` environment override is set to a malformed
+    /// or non-positive value (strict-knob policy). The override is
+    /// resolved once per process and then pinned, so only the first
+    /// `default()` can panic and all defaults agree.
     fn default() -> Self {
         MachineConfig {
             cores: 4,

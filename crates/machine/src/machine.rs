@@ -601,163 +601,35 @@ impl Machine {
         Ok(total)
     }
 
-    /// One read-then-`clflush` pair of an establishment sweep, fused: this
-    /// core's L1/L2 and the LLC use
-    /// [`SetAssocCache::access_then_invalidate`], so each level pays one
-    /// set lookup and one way scan for the load *and* the flush. Every
-    /// observable effect — cache and policy state, statistics, the two
-    /// latencies and stall draws, DRAM and MEE behaviour, trace events —
-    /// is exactly that of [`Self::mem_op_at`] followed by
-    /// [`Self::clflush_at`]; the differential tier holds the two paths
-    /// bit-identical. (Within the pair, the flush's removal of `line`
-    /// from a level commutes with everything between the split calls:
-    /// caches never read the clock, the levels' tag arrays are disjoint,
-    /// and an LLC victim's back-invalidation targets `victim`, never
-    /// `line`.)
+    /// One read-then-`clflush` pair of an establishment sweep: literally
+    /// [`Self::mem_op_at`] followed by [`Self::clflush_at`], so
+    /// bit-identity with the split `read` + `clflush` sequence holds by
+    /// construction — same calls, same order, including the LLC victim
+    /// back-invalidation landing *between* the load and the flush, and
+    /// the flush never running when the MEE walk errors. The batch's
+    /// wins stay upstream: one core validation, one page translation,
+    /// and one call frame per address instead of two.
     ///
-    /// On an error from the MEE walk, the failing pair's cache effects —
-    /// including its flush half — may already be applied; per-op
-    /// semantics only differ on that abnormal path (where the split
-    /// `clflush` would never have run).
+    /// An earlier variant fused each level's load and flush into
+    /// [`SetAssocCache::access_then_invalidate`], which reorders this
+    /// core's `on_invalidate(line)` against the back-invalidation of an
+    /// LLC victim mapping to the same private-cache set (set counts are
+    /// powers of two, so a same-LLC-set victim always shares the
+    /// private set too). With the current policies that transient
+    /// metadata divergence heals before any victim query can read it —
+    /// the two emptied ways must be refilled first, and refills rewrite
+    /// the divergent path bits — but the equivalence rests on that
+    /// whole-hierarchy argument rather than local reasoning, so the
+    /// sweep now keeps the split order; the seeded differential test
+    /// `sweep_matches_split_under_l1_resident_llc_victims` pins it.
     fn sweep_pair_at(
         &mut self,
         core: CoreId,
         proc: ProcId,
         pa: PhysAddr,
     ) -> Result<Cycles, ModelError> {
-        let kind = self.layout.classify(pa)?;
-        if kind == RegionKind::IntegrityTree {
-            return Err(ModelError::BadPhysAddr { pa });
-        }
-        let line = pa.line();
-        let issued = self.cores[core.index()].now;
-        let t = &self.cfg.timing;
-        let mut lat = t.l1_hit;
-        let clflush_lat = t.clflush;
-        let mut served = ServedAt::L1;
-        self.last_mee_hit = None;
-
-        // Read side, with each probed level's flush fused in. A hit
-        // short-circuits the descent exactly like [`Self::mem_op_at`];
-        // levels the read never probed are flushed plainly below.
-        let mut l2_probed = false;
-        let mut llc_probed = false;
-        let l1_hit = self.cores[core.index()].l1.access_then_invalidate(line).hit;
-        if !l1_hit {
-            lat += t.l2_hit;
-            served = ServedAt::L2;
-            l2_probed = true;
-            let l2_hit = self.cores[core.index()].l2.access_then_invalidate(line).hit;
-            if !l2_hit {
-                lat += t.llc_hit;
-                served = ServedAt::Llc;
-                llc_probed = true;
-                let llc_res = self.llc.access_then_invalidate(line);
-                if let Some(victim) = llc_res.evicted {
-                    // Inclusive LLC: back-invalidate every private cache.
-                    for c in &mut self.cores {
-                        c.l1.invalidate(victim);
-                        c.l2.invalidate(victim);
-                    }
-                    if self.obs.sink.enabled() {
-                        self.obs
-                            .sink
-                            .record(issued, EventKind::LlcEvict { line: victim.raw() });
-                    }
-                }
-                if !llc_res.hit {
-                    served = ServedAt::Dram;
-                    lat += self.dram.access(line);
-                    if kind == RegionKind::ProtectedData {
-                        let arrival = self.cores[core.index()].now + lat;
-                        let Machine { mee, dram, obs, .. } = self;
-                        let r = mee.read_traced(line, arrival, dram, &mut obs.sink)?;
-                        lat += r.access.latency;
-                        self.last_mee_hit = Some(r.access.hit_level);
-                        if self.obs.metrics.is_some() {
-                            if let Some(set) = self.mee.versions_set(line) {
-                                if let Some(m) = self.obs.metrics.as_mut() {
-                                    m.record_mee_set_walk(set);
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-
-        let elapsed = self.advance_with_stalls(core, lat);
-        if self.obs.is_enabled() {
-            let mee_level = self
-                .last_mee_hit
-                .map(|h| WalkLevel::from_ladder_index(h.ladder_index()));
-            self.obs.sink.record(
-                issued,
-                EventKind::MemOp {
-                    core: core.index() as u32,
-                    proc: proc.index() as u32,
-                    op: MemOpKind::Read,
-                    line: line.raw(),
-                    served: Some(served),
-                    mee_level,
-                    latency: elapsed.raw(),
-                },
-            );
-            if let Some(m) = self.obs.metrics.as_mut() {
-                m.record_mem_op(
-                    core.index(),
-                    proc.index(),
-                    MemOpKind::Read,
-                    Some(served),
-                    mee_level,
-                    elapsed.raw(),
-                );
-            }
-        }
-
-        // Flush side: the probed levels of this core are already clean;
-        // the broadcast to the other cores (and any level a hit
-        // short-circuited past) still runs.
-        let flush_issued = self.cores[core.index()].now;
-        let this = core.index();
-        for (i, c) in self.cores.iter_mut().enumerate() {
-            if i != this {
-                c.l1.invalidate(line);
-                c.l2.invalidate(line);
-            }
-        }
-        if !l2_probed {
-            self.cores[this].l2.invalidate(line);
-        }
-        if !llc_probed {
-            self.llc.invalidate(line);
-        }
-        let flush_elapsed = self.advance_with_stalls(core, clflush_lat);
-        if self.obs.is_enabled() {
-            self.obs.sink.record(
-                flush_issued,
-                EventKind::MemOp {
-                    core: core.index() as u32,
-                    proc: proc.index() as u32,
-                    op: MemOpKind::Clflush,
-                    line: line.raw(),
-                    served: None,
-                    mee_level: None,
-                    latency: flush_elapsed.raw(),
-                },
-            );
-            if let Some(m) = self.obs.metrics.as_mut() {
-                m.record_mem_op(
-                    core.index(),
-                    proc.index(),
-                    MemOpKind::Clflush,
-                    None,
-                    None,
-                    flush_elapsed.raw(),
-                );
-            }
-        }
-        Ok(elapsed + flush_elapsed)
+        let (read_elapsed, _, _) = self.mem_op_at(core, proc, pa, None)?;
+        Ok(read_elapsed + self.clflush_at(core, proc, pa))
     }
 
     /// A serializing fence (ordering is implicit in the sequential model;
@@ -1583,6 +1455,121 @@ mod tests {
                 }
                 assert_eq!(memo.core_now(CORE0), plain.core_now(CORE0));
             },
+        );
+    }
+
+    /// The batched sweep must remain the split `read` + `clflush`
+    /// sequence, op for op, in the one ordering a per-level fusion gets
+    /// wrong: a sweep read whose LLC eviction back-invalidates a line
+    /// still resident in the sweeping core's private caches. Set counts
+    /// are powers of two, so such a victim always lands in the same
+    /// L1/L2 set as the swept line, and `TreePlru::on_invalidate`
+    /// rewrites shared per-set tree bits — flushing the swept line before
+    /// the back-invalidation (as a fused read+flush pair would) leaves
+    /// different policy metadata than flushing it after, as the split
+    /// path does. Random workloads over a single-set TreePlru hierarchy
+    /// drive the batched and split paths on twin machines and demand
+    /// identical latencies, clocks, residency, and statistics after
+    /// every step; the test also requires the hard scenario to actually
+    /// fire.
+    #[test]
+    fn sweep_matches_split_under_l1_resident_llc_victims() {
+        use mee_cache::CacheConfig;
+        use mee_rng::prop::{check, PropConfig};
+        use std::cell::Cell;
+
+        let scenario_fired = Cell::new(false);
+        check(
+            "sweep_matches_split_under_l1_resident_llc_victims",
+            &PropConfig::from_env(24),
+            |rng| {
+                let mk = || {
+                    let mut cfg = MachineConfig::small();
+                    // Single-set TreePlru hierarchy: every line contends in
+                    // the same L1/L2/LLC set, so sweep-induced LLC evictions
+                    // routinely hit lines the sweeping core still caches
+                    // privately.
+                    cfg.l1 = CacheConfig { sets: 1, ways: 4, line_size: 64 };
+                    cfg.l2 = CacheConfig { sets: 1, ways: 4, line_size: 64 };
+                    cfg.llc = CacheConfig { sets: 1, ways: 8, line_size: 64 };
+                    Machine::new(cfg).unwrap()
+                };
+                let mut a = mk(); // drives sweep_read_flush
+                let mut b = mk(); // drives the split sequence
+                let proc_a = a.create_process(AddressSpaceKind::Enclave);
+                let proc_b = b.create_process(AddressSpaceKind::Enclave);
+                let base = VirtAddr::new(0x100_0000);
+                const POOL: usize = 10;
+                a.map_pages(proc_a, base, POOL).unwrap();
+                b.map_pages(proc_b, base, POOL).unwrap();
+                let addr = |s: usize| base + (s * PAGE_SIZE) as u64;
+                let lines: Vec<LineAddr> = (0..POOL)
+                    .map(|s| a.translate(proc_a, addr(s)).unwrap().line())
+                    .collect();
+                let residency = |m: &Machine, line: LineAddr| {
+                    (m.core_caches_line(CORE0, line), m.llc().contains(line))
+                };
+
+                for _ in 0..rng.random_range(20usize..60) {
+                    if rng.random_range(0u8..3) == 0 {
+                        // A sweep over 1–3 pool addresses, either direction.
+                        let n = rng.random_range(1usize..4);
+                        let addrs: Vec<VirtAddr> = (0..n)
+                            .map(|_| addr(rng.random_range(0usize..POOL)))
+                            .collect();
+                        let rev = rng.random_range(0u8..2) == 1;
+                        let before: Vec<_> =
+                            lines.iter().map(|&l| residency(&a, l)).collect();
+                        let total = a.sweep_read_flush(CORE0, proc_a, &addrs, rev).unwrap();
+                        let order: Vec<VirtAddr> = if rev {
+                            addrs.iter().rev().copied().collect()
+                        } else {
+                            addrs.clone()
+                        };
+                        let mut split = Cycles::ZERO;
+                        for &va in &order {
+                            split += b.read(CORE0, proc_b, va).unwrap();
+                            split += b.clflush(CORE0, proc_b, va).unwrap();
+                        }
+                        assert_eq!(total, split, "batch latency diverged from split");
+                        let swept: Vec<LineAddr> = order
+                            .iter()
+                            .map(|&va| b.translate(proc_b, va).unwrap().line())
+                            .collect();
+                        for (i, &l) in lines.iter().enumerate() {
+                            let (was_private, was_llc) = before[i];
+                            if was_private
+                                && was_llc
+                                && !a.llc().contains(l)
+                                && !swept.contains(&l)
+                            {
+                                // An LLC eviction back-invalidated a line the
+                                // sweeping core still held privately.
+                                scenario_fired.set(true);
+                            }
+                        }
+                    } else {
+                        // A plain (unflushed) read, so the private caches
+                        // retain eviction candidates for later sweeps.
+                        let va = addr(rng.random_range(0usize..POOL));
+                        assert_eq!(
+                            a.read(CORE0, proc_a, va).unwrap(),
+                            b.read(CORE0, proc_b, va).unwrap()
+                        );
+                    }
+                    assert_eq!(a.core_now(CORE0), b.core_now(CORE0));
+                    assert_eq!(a.llc().stats(), b.llc().stats());
+                    assert_eq!(a.mee().stats(), b.mee().stats());
+                    for &l in &lines {
+                        assert_eq!(residency(&a, l), residency(&b, l));
+                    }
+                }
+            },
+        );
+        assert!(
+            scenario_fired.get(),
+            "workloads never exercised an LLC eviction back-invalidating a \
+             privately cached line mid-sweep"
         );
     }
 }
